@@ -1,0 +1,58 @@
+"""Figure 3 — runtime preference of P1 vs P2 under varying f and k.
+
+The model uses 16K fflayer hidden size, 2,048 fflayer channel size and
+batch size 4 (tokens scale with f through the capacity).  Throughput
+ratio P2/P1 above 1.0 means P2 wins.
+"""
+
+from repro.bench.harness import Table
+from repro.cluster.topology import ndv4_topology
+from repro.core.config import MoEConfig
+from repro.parallel.strategy import Parallelism, strategy_cost
+
+FACTORS = (1.0, 2.0, 4.0, 8.0, 16.0)
+TOP_KS = (1, 2, 4)
+
+
+def _cfg(f, k, world=8):
+    return MoEConfig(world_size=world, experts_per_gpu=4 / world,
+                     model_dim=2048, hidden_dim=16384,
+                     tokens_per_gpu=4 * 512, top_k=k,
+                     capacity_factor=f)
+
+
+def run(verbose: bool = True):
+    topo = ndv4_topology(8)
+    table = Table("Figure 3: P1 vs P2 throughput ratio (P2/P1, >1 means "
+                  "P2 wins)", ["f"] + [f"top-{k}" for k in TOP_KS])
+    ratios = {}
+    for f in FACTORS:
+        row = []
+        for k in TOP_KS:
+            cfg = _cfg(f, k)
+            p1 = strategy_cost(cfg, topo, Parallelism.P1_EP_DP).total_time
+            p2 = strategy_cost(cfg, topo, Parallelism.P2_EP_MP).total_time
+            ratios[(f, k)] = p1 / p2  # throughput ratio
+            row.append(f"{p1 / p2:.3f}")
+        table.add_row(f, *row)
+    if verbose:
+        table.show()
+        print("Paper shape: P2 preferred at small f, P1 at large f; the "
+              "crossover f shifts with k.")
+    return ratios
+
+
+def test_bench_fig03(once):
+    ratios = once(run, verbose=False)
+    for k in TOP_KS:
+        series = [ratios[(f, k)] for f in FACTORS]
+        # P2's advantage shrinks monotonically as f grows.
+        assert all(a >= b - 1e-9 for a, b in zip(series, series[1:]))
+    # At k=1, f=1 the token volume is smallest: P2 must win there.
+    assert ratios[(1.0, 1)] > 1.0
+    # At k=4, f=16 the token volume dominates: P1 must win.
+    assert ratios[(16.0, 4)] < 1.0
+
+
+if __name__ == "__main__":
+    run()

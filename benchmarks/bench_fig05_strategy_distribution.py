@@ -1,0 +1,59 @@
+"""Figure 5 — distribution of optimal pipelining strategies.
+
+Evaluates every (All-to-All algorithm, pipelining degree) pair on the
+Table 6 grid of typical MoE settings across scales and histograms which
+strategy wins — demonstrating that no single static strategy is optimal
+(the motivation for adaptive pipelining).
+"""
+
+import os
+from collections import Counter
+
+from repro.bench.harness import Table
+from repro.cluster.topology import ndv4_topology
+from repro.models.workload import typical_settings
+from repro.pipeline.schedule import all_strategies, pipeline_segment_time
+
+WORLDS = (16, 64, 256)
+
+
+def run(verbose: bool = True, worlds=WORLDS, limit: int | None = None):
+    if limit is None:
+        limit = 60 if os.environ.get("REPRO_SCALE") != "full" else None
+    strategies = all_strategies()
+    wins: Counter = Counter()
+    total = 0
+    for world in worlds:
+        topo = ndv4_topology(world)
+        settings = typical_settings(world)
+        if limit:
+            settings = settings[::max(1, len(settings) // limit)]
+        for cfg in settings:
+            times = {s: pipeline_segment_time(cfg, topo, s)
+                     for s in strategies}
+            wins[min(times, key=times.__getitem__).describe()] += 1
+            total += 1
+
+    table = Table("Figure 5: optimal pipelining strategy distribution",
+                  ["strategy", "# settings where optimal", "share"])
+    for name, count in wins.most_common():
+        table.add_row(name, count, f"{count / total:.1%}")
+    if verbose:
+        table.show()
+        print(f"{len(wins)} distinct strategies are optimal somewhere "
+              f"across {total} (setting, scale) samples — a static "
+              "choice cannot win everywhere.")
+    return wins
+
+
+def test_bench_fig05(once):
+    wins = once(run, verbose=False)
+    # Multiple distinct strategies must each win somewhere.
+    assert len(wins) >= 3
+    # No single strategy dominates everything.
+    top = wins.most_common(1)[0][1]
+    assert top < sum(wins.values())
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,54 @@
+"""Figure 7 — DeepSpeed fflayer elapsed time vs scale.
+
+dE = 1, M = V = 2048, f = 1, 16,384 tokens/step per GPU.  Per-GPU
+FLOPs are constant under this weak scaling, yet the raw All-to-All
+output layout shrinks the per-problem row count from 16,384 to 8,
+collapsing GEMM efficiency (paper: 11.3x slowdown, 8.8% relative
+throughput at 2,048 GPUs).
+"""
+
+from repro.baselines.deepspeed_moe import deepspeed_fflayer_time
+from repro.bench.harness import Table
+from repro.cluster.topology import ndv4_topology
+from repro.core.config import MoEConfig
+from repro.core.units import fmt_time
+
+WORLDS = (1, 8, 64, 256, 1024, 2048)
+
+
+def _cfg(world):
+    return MoEConfig(world_size=world, experts_per_gpu=1,
+                     model_dim=2048, hidden_dim=2048,
+                     tokens_per_gpu=16384, top_k=1, capacity_factor=1.0)
+
+
+def run(verbose: bool = True):
+    table = Table("Figure 7: DeepSpeed fflayer time vs scale",
+                  ["#GPUs", "bgemm shape (B, rows)", "elapsed",
+                   "slowdown vs 1 GPU"])
+    times = {}
+    base = None
+    for world in WORLDS:
+        cfg = _cfg(world)
+        t = deepspeed_fflayer_time(cfg, ndv4_topology(world))
+        base = base or t
+        times[world] = t
+        table.add_row(world, f"({world}, {cfg.capacity_per_gpu})",
+                      fmt_time(t), f"{t / base:.2f}x")
+    if verbose:
+        table.show()
+        print(f"Slowdown at 2,048 GPUs: {times[2048] / times[1]:.1f}x "
+              "(paper: 11.3x)")
+    return times
+
+
+def test_bench_fig07(once):
+    times = once(run, verbose=False)
+    slowdown = times[2048] / times[1]
+    assert 6 < slowdown < 20
+    assert all(times[a] <= times[b]
+               for a, b in zip(WORLDS, WORLDS[1:]))
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,55 @@
+"""Figure 10 — expert computation: raw A2A layout vs Flexible A2A.
+
+Flexible All-to-All keeps the expert input layout at (dE, C, M)
+regardless of scale, so the per-problem row count never collapses; the
+raw layout (W, dE, dC, M) reproduces the Figure 7 regression.
+"""
+
+from repro.bench.harness import Table
+from repro.cluster.gemm import expert_ffn_time
+from repro.cluster.topology import ndv4_topology
+from repro.core.config import MoEConfig
+from repro.core.units import fmt_time
+
+WORLDS = (1, 8, 64, 256, 1024, 2048)
+
+
+def _cfg(world):
+    return MoEConfig(world_size=world, experts_per_gpu=1,
+                     model_dim=2048, hidden_dim=2048,
+                     tokens_per_gpu=16384, top_k=1, capacity_factor=1.0)
+
+
+def run(verbose: bool = True):
+    table = Table("Figure 10: expert compute, A2A vs Flexible A2A layout",
+                  ["#GPUs", "raw A2A layout", "Flexible A2A layout",
+                   "gain"])
+    results = {}
+    for world in WORLDS:
+        cfg = _cfg(world)
+        gpu = ndv4_topology(world).gpu
+        raw = expert_ffn_time(gpu, world, cfg.capacity_per_gpu,
+                              2048, 2048)
+        flex = expert_ffn_time(gpu, 1, cfg.global_capacity, 2048, 2048)
+        results[world] = (raw, flex)
+        table.add_row(world, fmt_time(raw), fmt_time(flex),
+                      f"{raw / flex:.2f}x")
+    if verbose:
+        table.show()
+        print("Flexible A2A keeps expert time flat across scales "
+              "(paper Figure 10).")
+    return results
+
+
+def test_bench_fig10(once):
+    results = once(run, verbose=False)
+    # The flexible layout is scale-independent (within launch noise).
+    flex_times = [flex for _, flex in results.values()]
+    assert max(flex_times) < 1.2 * min(flex_times)
+    # The raw layout regresses heavily at 2,048 GPUs.
+    raw, flex = results[2048]
+    assert raw > 5 * flex
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,61 @@
+"""Figure 20 — linear vs 2DH All-to-All latency, 64 to 4,096 GPUs.
+
+The paper's headline communication result: 2DH wins for small messages
+from small scales, loses at large-message/small-scale (extra copies),
+and wins everywhere once the world is large; NCCL's linear algorithm
+could not even run at 4,096 GPUs.
+"""
+
+from repro.bench.harness import Table
+from repro.cluster.topology import ndv4_topology
+from repro.collectives.schedule import (
+    linear_a2a_time,
+    naive_local_agg_a2a_time,
+    twodh_a2a_time,
+)
+from repro.core.units import MIB, fmt_time
+
+WORLDS = (64, 128, 256, 512, 1024, 2048, 4096)
+SIZES = (1 * MIB, 32 * MIB, 256 * MIB)
+
+
+def run(verbose: bool = True):
+    results = {}
+    for total in SIZES:
+        table = Table(
+            f"Figure 20: All-to-All latency at S = {total // MIB} MiB",
+            ["#GPUs", "linear", "naive local agg", "2DH",
+             "2DH speedup"])
+        rows = {}
+        for world in WORLDS:
+            topo = ndv4_topology(world)
+            linear = linear_a2a_time(topo, total)
+            naive = naive_local_agg_a2a_time(topo, total)
+            twodh = twodh_a2a_time(topo, total)
+            rows[world] = (linear, naive, twodh)
+            table.add_row(world, fmt_time(linear), fmt_time(naive),
+                          fmt_time(twodh), f"{linear / twodh:.2f}x")
+        results[total] = rows
+        if verbose:
+            table.show()
+    if verbose:
+        best = max(rows[0] / rows[2] for rows in
+                   [results[1 * MIB][w] for w in (1024, 2048)])
+        print(f"Max small-message 2DH speedup at 1-2K GPUs: {best:.1f}x "
+              "(paper: up to 20.7x)")
+    return results
+
+
+def test_bench_fig20(once):
+    results = once(run, verbose=False)
+    # Small size: 2DH wins everywhere.
+    for world in WORLDS:
+        linear, _, twodh = results[1 * MIB][world]
+        assert twodh < linear
+    # Large size: linear wins at 64 GPUs, 2DH at 2,048.
+    assert results[256 * MIB][64][0] < results[256 * MIB][64][2]
+    assert results[256 * MIB][2048][2] < results[256 * MIB][2048][0]
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,82 @@
+"""Figure 22 — adaptive pipelining under dynamic workloads.
+
+tokens/step = 4,096, M = V = 4,096, dE = 2.  Capacity factors f in
+{4, 16} emulate different workload patterns across iterations; the
+adaptive pipeliner (Algorithm 2) is compared against the degree-1
+linear baseline at each scale.
+"""
+
+from repro.bench.harness import Table
+from repro.cluster.topology import ndv4_topology
+from repro.core.config import MoEConfig
+from repro.pipeline.adaptive import OnlinePipeliningSearch
+from repro.pipeline.schedule import (
+    PipelineStrategy,
+    all_strategies,
+    pipeline_segment_time,
+)
+
+WORLDS = (16, 32, 64, 128, 256)
+FACTORS = (4.0, 16.0)
+
+
+def _cfg(world, f):
+    return MoEConfig(world_size=world, experts_per_gpu=2,
+                     model_dim=4096, hidden_dim=4096,
+                     tokens_per_gpu=4096, top_k=2, capacity_factor=f)
+
+
+def run(verbose: bool = True):
+    baseline = PipelineStrategy(degree=1)
+    table = Table("Figure 22: adaptive pipelining vs baseline "
+                  "(deg1 + linear A2A)",
+                  ["#GPUs", "f=4 improvement", "f=16 improvement",
+                   "chosen (f=4)", "chosen (f=16)"])
+    results = {}
+    for world in WORLDS:
+        topo = ndv4_topology(world)
+        row = {}
+        for f in FACTORS:
+            cfg = _cfg(world, f)
+            base = pipeline_segment_time(cfg, topo, baseline)
+            # Online search converges to the oracle best; run it to
+            # convergence the way the runtime would.
+            search = OnlinePipeliningSearch(bucket_length=1.0)
+            chosen = None
+            for _ in range(len(all_strategies()) + 1):
+                chosen, _ = search.step(
+                    f, lambda s: pipeline_segment_time(cfg, topo, s))
+            adaptive = pipeline_segment_time(cfg, topo, chosen)
+            row[f] = ((base - adaptive) / base, chosen)
+        results[world] = row
+        table.add_row(world, f"{row[4.0][0]:.0%}", f"{row[16.0][0]:.0%}",
+                      row[4.0][1].describe(), row[16.0][1].describe())
+    if verbose:
+        table.show()
+        print("Paper: up to 30% improvement at f=4 and up to 67% at "
+              "f=16; the adaptive search always selects the best "
+              "strategy.")
+    return results
+
+
+def test_bench_fig22(once):
+    results = once(run, verbose=False)
+    for world, row in results.items():
+        for f, (improvement, chosen) in row.items():
+            assert improvement >= 0
+    # The search converges to the oracle best everywhere.
+    from repro.pipeline.schedule import all_strategies
+    world = 64
+    for f in FACTORS:
+        cfg = _cfg(world, f)
+        topo = ndv4_topology(world)
+        oracle = min(all_strategies(),
+                     key=lambda s: pipeline_segment_time(cfg, topo, s))
+        assert results[world][f][1] == oracle
+    # Larger f exposes more overlap opportunity somewhere.
+    assert max(r[16.0][0] for r in results.values()) >= \
+        max(r[4.0][0] for r in results.values()) - 0.05
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,100 @@
+"""Figure 23 — single-MoE-layer improvement breakdown, 16 to 2,048 GPUs.
+
+tokens/step = 16,384, f = 1, M = V = 2,048, dE = 2, top-k = 2.
+Features are layered in the paper's order:
+
+(1) Fairseq baseline;
+(2) + Tutel kernels (sparse encode/decode) with linear All-to-All;
+(3) + adaptive pipelining;
+(4) + Flexible All-to-All;
+(5) + adaptive parallelism switching (full Tutel);
+(6) computation-only share of the full stack.
+"""
+
+from repro.bench.harness import Table
+from repro.cluster.topology import ndv4_topology
+from repro.core.config import MoEConfig
+from repro.core.units import fmt_time
+from repro.runtime.plan import (
+    FAIRSEQ_FEATURES,
+    TUTEL_FEATURES,
+    moe_step_time,
+)
+
+WORLDS = (16, 64, 256, 1024, 2048)
+PAPER_SPEEDUPS = {16: 4.96, 2048: 5.75}
+
+
+def _cfg(world):
+    return MoEConfig(world_size=world, experts_per_gpu=2,
+                     model_dim=2048, hidden_dim=2048,
+                     tokens_per_gpu=16384, top_k=2, capacity_factor=1.0)
+
+
+def ladder():
+    base = FAIRSEQ_FEATURES
+    return [
+        ("(1) fairseq", base),
+        ("(2) +tutel kernels", base.with_(fast_kernels=True)),
+        ("(3) +adaptive pipelining",
+         base.with_(fast_kernels=True, adaptive_pipelining=True)),
+        ("(4) +flexible a2a",
+         base.with_(fast_kernels=True, adaptive_pipelining=True,
+                    flexible_a2a=True)),
+        ("(5) +adaptive parallelism", TUTEL_FEATURES),
+    ]
+
+
+def run(verbose: bool = True):
+    table = Table("Figure 23: single MoE layer step time",
+                  ["curve"] + [f"W={w}" for w in WORLDS])
+    rows = {}
+    for name, features in ladder():
+        times = []
+        for world in WORLDS:
+            bd = moe_step_time(_cfg(world), ndv4_topology(world),
+                               features)
+            times.append(bd.total)
+        rows[name] = times
+        table.add_row(name, *[fmt_time(t) for t in times])
+    compute_only = []
+    for world in WORLDS:
+        bd = moe_step_time(_cfg(world), ndv4_topology(world),
+                           TUTEL_FEATURES)
+        compute_only.append(bd.compute_only)
+    rows["(6) compute only"] = compute_only
+    table.add_row("(6) compute only", *[fmt_time(t)
+                                        for t in compute_only])
+
+    speedups = [rows["(1) fairseq"][i] / rows["(5) +adaptive parallelism"][i]
+                for i in range(len(WORLDS))]
+    table.add_row("tutel speedup",
+                  *[f"{s:.2f}x" for s in speedups])
+    if verbose:
+        table.show()
+        print(f"End-to-end speedup: {speedups[0]:.2f}x at 16 GPUs "
+              f"(paper 4.96x), {speedups[-1]:.2f}x at 2,048 GPUs "
+              f"(paper 5.75x).")
+    return rows
+
+
+def test_bench_fig23(once):
+    rows = once(run, verbose=False)
+    names = [n for n, _ in ladder()]
+    # Each added feature never hurts, at any scale.
+    for i, world in enumerate(WORLDS):
+        stack = [rows[n][i] for n in names]
+        for before, after in zip(stack, stack[1:]):
+            assert after <= before * 1.001
+    # Full-stack speedup in the paper's band at both endpoints.
+    s16 = rows[names[0]][0] / rows[names[-1]][0]
+    s2048 = rows[names[0]][-1] / rows[names[-1]][-1]
+    assert 2.5 < s16 < 12
+    assert 3.0 < s2048 < 14
+    # Compute-only lies below the full step everywhere.
+    assert all(c <= t for c, t in zip(rows["(6) compute only"],
+                                      rows[names[-1]]))
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,47 @@
+"""Figure 25 — batch prioritized routing vs plain routing.
+
+Both models train at f = 1.25; accuracy is evaluated at shrinking
+inference capacity factors.  BPR drops the *least confident* tokens
+first, so its accuracy degrades far more slowly at low capacity — the
+paper calls it "crucial for computer vision MoE models".
+"""
+
+from conftest import accuracy_scale
+from repro.bench.harness import Table
+from repro.train.experiments import bpr_sweep
+
+FACTORS = (0.1, 0.25, 0.5, 1.0, 1.25)
+
+
+def run(verbose: bool = True):
+    scale = accuracy_scale()
+    curves = bpr_sweep(scale, infer_factors=FACTORS)
+    table = Table("Figure 25: accuracy vs inference capacity factor",
+                  ["infer-f", "w/o BPR", "w/ BPR", "BPR advantage"])
+    for (f, acc_plain), (_, acc_bpr) in zip(curves["w/o BPR"],
+                                            curves["w/ BPR"]):
+        table.add_row(f, f"{acc_plain:.3f}", f"{acc_bpr:.3f}",
+                      f"{acc_bpr - acc_plain:+.3f}")
+    if verbose:
+        table.show()
+        print("Paper: BPR is crucial at low capacity factors; the "
+              "curves converge as f approaches the training value.")
+    return curves
+
+
+def test_bench_fig25(once):
+    curves = once(run, verbose=False)
+    plain = dict(curves["w/o BPR"])
+    bpr = dict(curves["w/ BPR"])
+    # At the lowest capacities BPR wins.
+    low = FACTORS[0]
+    assert bpr[low] > plain[low]
+    # At full capacity the two are close (nothing is dropped).
+    full = FACTORS[-1]
+    assert abs(bpr[full] - plain[full]) < 0.08
+    # Dropping capacity hurts the plain router substantially.
+    assert plain[low] < plain[full]
+
+
+if __name__ == "__main__":
+    run()

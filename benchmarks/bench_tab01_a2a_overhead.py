@@ -1,0 +1,70 @@
+"""Table 1 — All-to-All overhead ratio and potential overlap speedup.
+
+A typical MoE setting at 16/64/256 GPUs: measure the computation and
+All-to-All shares of the (unoverlapped) MoE step, then the potential
+speedup if All-to-All were fully hidden behind computation.
+"""
+
+from repro.bench.harness import Table
+from repro.cluster.topology import ndv4_topology
+from repro.core.config import MoEConfig
+from repro.core.units import fmt_time
+from repro.runtime.plan import FAIRSEQ_FEATURES, moe_step_time
+
+# The overhead analysis assumes efficient kernels and no overlap — the
+# point of the table is what *overlapping* could save, so the dense
+# encode/decode inefficiency (a separate problem, Section 4.2) is
+# factored out by enabling the fast kernels and the flexible layout
+# (keeping computation flat across scales, as in the paper's table).
+NO_OVERLAP = FAIRSEQ_FEATURES.with_(name="no-overlap", fast_kernels=True,
+                                    flexible_a2a=True)
+
+WORLDS = (16, 64, 256)
+PAPER = {16: (0.337, 1.51), 64: (0.463, 1.86), 256: (0.567, 1.76)}
+
+
+def _cfg(world):
+    return MoEConfig(world_size=world, experts_per_gpu=2,
+                     model_dim=2048, hidden_dim=2048,
+                     tokens_per_gpu=16384, top_k=2, capacity_factor=1.0)
+
+
+def run(verbose: bool = True):
+    table = Table("Table 1: All-to-All overhead and potential speedup",
+                  ["#GPUs", "MoE step", "compute", "All-to-All",
+                   "A2A ratio (paper)", "potential speedup (paper)"])
+    results = {}
+    for world in WORLDS:
+        bd = moe_step_time(_cfg(world), ndv4_topology(world),
+                           NO_OVERLAP)
+        compute = bd.compute_only
+        a2a = bd.total - compute
+        ratio = a2a / bd.total
+        # Fully overlapping A2A with compute saves min(a2a, compute).
+        saved = min(a2a, compute)
+        speedup = bd.total / (bd.total - saved)
+        results[world] = (bd.total, compute, a2a, ratio, speedup)
+        paper_ratio, paper_speedup = PAPER[world]
+        table.add_row(world, fmt_time(bd.total), fmt_time(compute),
+                      fmt_time(a2a),
+                      f"{ratio:.1%} ({paper_ratio:.1%})",
+                      f"{speedup:.2f}x ({paper_speedup:.2f}x)")
+    if verbose:
+        table.show()
+    return results
+
+
+def test_bench_tab01(once):
+    results = once(run, verbose=False)
+    ratios = [results[w][3] for w in WORLDS]
+    # The A2A share grows with scale (paper: 33.7% -> 56.7%).
+    assert ratios == sorted(ratios)
+    assert 0.1 < ratios[0] < 0.7
+    assert ratios[-1] > 0.3
+    # Potential speedups land in the paper's 1.5-1.9x band (loosely).
+    for w in WORLDS:
+        assert 1.2 < results[w][4] < 2.5
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,61 @@
+"""Table 4 — GPU memory of one MoE layer, Fairseq vs Tutel.
+
+Static settings: M = V = 4096, top-k = 2, dE = 2; tokens/step sweeps
+4,096 to 32,768.  The dense path's (T, E, dC) tensors grow
+quadratically; the sparse path's index vectors grow linearly.
+"""
+
+from repro.bench.harness import Table
+from repro.cluster.memory import dense_moe_memory, sparse_moe_memory
+from repro.core.config import MoEConfig
+from repro.core.units import GIB
+
+TOKENS = (4096, 8192, 16384, 32768)
+PAPER = {4096: (3.7, 2.9), 8192: (6.2, 3.2),
+         16384: (16.3, 4.0), 32768: (57.9, 5.7)}
+
+
+def _cfg(tokens):
+    return MoEConfig(world_size=1, experts_per_gpu=2, model_dim=4096,
+                     hidden_dim=4096, tokens_per_gpu=tokens, top_k=2,
+                     capacity_factor=1.0)
+
+
+def run(verbose: bool = True):
+    table = Table("Table 4: single-MoE-layer GPU memory",
+                  ["tokens/step", "Fairseq (paper)", "Tutel (paper)",
+                   "saving (paper)"])
+    results = {}
+    for tokens in TOKENS:
+        cfg = _cfg(tokens)
+        dense = dense_moe_memory(cfg).total_bytes / GIB
+        sparse = sparse_moe_memory(cfg).total_bytes / GIB
+        saving = 1 - sparse / dense
+        paper_d, paper_s = PAPER[tokens]
+        paper_saving = 1 - paper_s / paper_d
+        results[tokens] = (dense, sparse, saving)
+        table.add_row(tokens,
+                      f"{dense:.1f} GiB ({paper_d} GiB)",
+                      f"{sparse:.1f} GiB ({paper_s} GiB)",
+                      f"{saving:.1%} ({paper_saving:.1%})")
+    if verbose:
+        table.show()
+        print("Largest dense tensors at 32K tokens:")
+        for name, nbytes in dense_moe_memory(_cfg(32768)).top(4):
+            print(f"  {name}: {nbytes / GIB:.2f} GiB")
+    return results
+
+
+def test_bench_tab04(once):
+    results = once(run, verbose=False)
+    for tokens, (dense, sparse, saving) in results.items():
+        paper_d, paper_s = PAPER[tokens]
+        assert abs(saving - (1 - paper_s / paper_d)) < 0.15
+        assert paper_d / 2 < dense < paper_d * 2
+    # Savings grow with the token count (the paper's -21.6% -> -90.2%).
+    savings = [results[t][2] for t in TOKENS]
+    assert savings == sorted(savings)
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,65 @@
+"""Table 8 — SwinV2-MoE training/inference speed, Fairseq vs Tutel.
+
+E = 32 experts (one per GPU at W = 32), top-1 routing, f = 1.0, per-GPU
+rates in images/second, 8 to 128 GPUs.  The dense column anchors the
+backbone; the MoE columns add our modelled per-layer overheads.
+"""
+
+from repro.bench.harness import Table
+from repro.models.swin import SWINV2_B, swinv2_moe_speed
+from repro.runtime.plan import FAIRSEQ_FEATURES, TUTEL_FEATURES
+
+WORLDS = (8, 16, 32, 64, 128)
+PAPER = {  # (dense train/infer, fairseq train/infer, tutel train/infer)
+    8: ((291, 1198), (240, 507), (274, 1053)),
+    16: ((290, 1198), (173, 473), (253, 943)),
+    32: ((288, 1195), (162, 455), (249, 892)),
+    64: ((285, 1187), (159, 429), (234, 835)),
+    128: ((256, 1103), (146, 375), (226, 792)),
+}
+
+
+def run(verbose: bool = True):
+    table = Table("Table 8: SwinV2-MoE images/second per GPU",
+                  ["#GPUs", "dense t/i (paper)", "fairseq t/i (paper)",
+                   "tutel t/i (paper)", "speedup t/i (paper)"])
+    results = {}
+    for world in WORLDS:
+        fair = swinv2_moe_speed(SWINV2_B, FAIRSEQ_FEATURES, world=world)
+        tutel = swinv2_moe_speed(SWINV2_B, TUTEL_FEATURES, world=world)
+        results[world] = (fair, tutel)
+        (pd, pfair, ptut) = PAPER[world]
+        speed_t = tutel.train_rate / fair.train_rate
+        speed_i = tutel.infer_rate / fair.infer_rate
+        paper_st = ptut[0] / pfair[0]
+        paper_si = ptut[1] / pfair[1]
+        table.add_row(
+            world,
+            f"{SWINV2_B.dense_train_rate:.0f}/{SWINV2_B.dense_infer_rate:.0f}"
+            f" ({pd[0]}/{pd[1]})",
+            f"{fair.train_rate:.0f}/{fair.infer_rate:.0f} "
+            f"({pfair[0]}/{pfair[1]})",
+            f"{tutel.train_rate:.0f}/{tutel.infer_rate:.0f} "
+            f"({ptut[0]}/{ptut[1]})",
+            f"{speed_t:.2f}x/{speed_i:.2f}x "
+            f"({paper_st:.2f}x/{paper_si:.2f}x)")
+    if verbose:
+        table.show()
+    return results
+
+
+def test_bench_tab08(once):
+    results = once(run, verbose=False)
+    for world, (fair, tutel) in results.items():
+        # Tutel beats Fairseq in both modes at every scale.
+        assert tutel.train_rate > fair.train_rate
+        assert tutel.infer_rate > fair.infer_rate
+        # Speedup bands around the paper's 1.14-1.55x / 1.95-2.11x.
+        assert 1.0 < tutel.train_rate / fair.train_rate < 2.5
+        assert 1.2 < tutel.infer_rate / fair.infer_rate < 3.5
+        # MoE never exceeds the dense backbone rate.
+        assert tutel.train_rate <= SWINV2_B.dense_train_rate
+
+
+if __name__ == "__main__":
+    run()

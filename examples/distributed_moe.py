@@ -1,0 +1,70 @@
+"""Distributed MoE with Flexible All-to-All over simulated ranks.
+
+Walks through the complete data path of paper Figure 2 on 4 simulated
+GPUs with 8 global experts, then demonstrates the 2DH All-to-All
+producing bit-identical results to the linear algorithm while moving
+only aggregated messages (Figure 15 / Algorithm 3).
+
+Run:  python examples/distributed_moe.py
+"""
+
+import numpy as np
+
+from repro.collectives import (
+    all_to_all_2dh_phases,
+    all_to_all_linear,
+    flexible_all_to_all,
+)
+from repro.core import MoEConfig
+from repro.moe import (
+    CapacityPolicy,
+    MoELayerParams,
+    distributed_moe_forward,
+    moe_layer_forward,
+)
+
+
+def main():
+    rng = np.random.default_rng(0)
+    cfg = MoEConfig(world_size=4, experts_per_gpu=2, model_dim=32,
+                    hidden_dim=64, tokens_per_gpu=64, top_k=2,
+                    capacity_factor=4.0)
+    params = MoELayerParams.init(num_experts=cfg.num_global_experts,
+                                 model_dim=32, hidden_dim=64, rng=rng)
+    rank_inputs = [rng.normal(size=(64, 32)) for _ in range(4)]
+
+    # Full distributed forward: encode -> flexible A2A -> local experts
+    # -> flexible A2A -> decode, with real data movement.
+    result = distributed_moe_forward(rank_inputs, params, cfg)
+    print(f"per-rank outputs: {[o.shape for o in result.outputs]}")
+    print(f"aux loss {result.l_aux:.3f}, dropped "
+          f"{result.dropped_fraction:.1%}")
+
+    # Equivalence against the single-process layer per rank.
+    for r, x in enumerate(rank_inputs):
+        local = moe_layer_forward(x, params,
+                                  capacity=CapacityPolicy(4.0))
+        err = np.abs(result.outputs[r] - local.output).max()
+        print(f"rank {r}: max deviation vs single-process = {err:.2e}")
+
+    # Table 3 layouts: (E, dC, M) -> (dE, C, M) and back.
+    dispatch = [rng.normal(size=(8, 3, 5)) for _ in range(4)]
+    expert_layout = flexible_all_to_all(dispatch, concat_dim=1,
+                                        split_dim=0)
+    print(f"\nflexible A2A: {dispatch[0].shape} -> "
+          f"{expert_layout[0].shape}  (scale-independent expert input)")
+
+    # 2DH All-to-All phase-by-phase on 8 ranks / 2 nodes (Figure 15).
+    world = [np.array([10 * src + dst for dst in range(8)]).reshape(8, 1)
+             for src in range(8)]
+    phases = all_to_all_2dh_phases(world, gpus_per_node=4)
+    print("\n2DH All-to-All, GPU0's buffer per phase:")
+    for i, phase in enumerate(phases):
+        print(f"  phase {i}: {phase[0].ravel().tolist()}")
+    linear = all_to_all_linear(world)
+    same = all(np.array_equal(phases[-1][r], linear[r]) for r in range(8))
+    print(f"2DH == linear: {same}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro — reproduction of "Tutel: Adaptive Mixture-of-Experts at Scale".
+
+The package splits into a *functional substrate* that really computes
+(NumPy MoE layers, a small autograd engine, trainable models) and a
+*performance substrate* that models a GPU cluster (topology, cost
+models, a discrete-event simulator) so the paper's scaling experiments
+can be regenerated without 2,048 A100s.
+
+Quickstart::
+
+    import numpy as np
+    from repro.moe import MoELayerParams, moe_layer_forward
+
+    rng = np.random.default_rng(0)
+    params = MoELayerParams.init(num_experts=8, model_dim=64,
+                                 hidden_dim=256, rng=rng)
+    x = rng.normal(size=(128, 64))
+    out = moe_layer_forward(x, params)
+    print(out.output.shape, out.l_aux)
+"""
+
+__version__ = "0.1.0"
+
+from repro.core.config import MoEConfig
+
+__all__ = ["MoEConfig", "__version__"]

@@ -1,0 +1,68 @@
+"""Differentiable MoE dispatch/combine built on the sparse kernels.
+
+Wraps the verified sparse fast encode/decode of :mod:`repro.moe.encode`
+(Figure 19's K0/K1/K2 kernels) as autograd ops.  Routing indices and
+locations are discrete and carry no gradient; the gate values *do* —
+the combine op returns gradients for both the expert outputs and the
+per-slot gates, which is how the router trains through the layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.moe.encode import (
+    fast_decode,
+    fast_decode_backward,
+    fast_encode,
+    fast_encode_backward,
+)
+from repro.moe.gating import RoutingCriteria
+
+__all__ = ["moe_dispatch", "moe_combine", "batched_expert_ffn_input"]
+
+
+def moe_dispatch(x: Tensor, crit: RoutingCriteria) -> Tensor:
+    """Scatter tokens into ``(E, dC, M)`` capacity cells (fast_encode)."""
+    out_data = fast_encode(x.data, crit)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(fast_encode_backward(grad, crit))
+    return Tensor.from_op(out_data, (x,), backward)
+
+
+def moe_combine(expert_output: Tensor, gates: Tensor,
+                crit: RoutingCriteria) -> Tensor:
+    """Weighted gather back to token order (fast_decode).
+
+    ``gates`` must have the ``(k, T)`` layout of ``crit.gates``; the
+    decode uses these live values, keeping the router differentiable.
+    """
+    if gates.shape != crit.gates.shape:
+        raise ValueError(
+            f"gates shape {gates.shape} != crit gates "
+            f"{crit.gates.shape}")
+    live = RoutingCriteria(idxs=crit.idxs, locations=crit.locations,
+                           gates=np.where(crit.valid, gates.data, 0.0),
+                           capacity=crit.capacity,
+                           num_experts=crit.num_experts)
+    out_data = fast_decode(expert_output.data, live)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_z, grad_gates = fast_decode_backward(grad,
+                                                  expert_output.data, live)
+        expert_output._accumulate(grad_z)
+        gates._accumulate(np.where(crit.valid, grad_gates, 0.0))
+    return Tensor.from_op(out_data, (expert_output, gates), backward)
+
+
+def batched_expert_ffn_input(dispatched: Tensor, w: Tensor) -> Tensor:
+    """Differentiable ``einsum("ecm,emv->ecv")`` per-expert GEMM."""
+    out_data = np.einsum("ecm,emv->ecv", dispatched.data, w.data)
+
+    def backward(grad: np.ndarray) -> None:
+        dispatched._accumulate(
+            np.einsum("ecv,emv->ecm", grad, w.data))
+        w._accumulate(np.einsum("ecm,ecv->emv", dispatched.data, grad))
+    return Tensor.from_op(out_data, (dispatched, w), backward)

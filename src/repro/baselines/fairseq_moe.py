@@ -1,0 +1,77 @@
+"""Fairseq-MoE-style baseline (paper's primary comparison target).
+
+Reproduces the execution profile the paper attributes to the Fairseq
+``moe`` branch:
+
+* dense GShard einsum encode/decode (Figure 18a) with the associated
+  ``(T, E, dC)`` activation tensors;
+* the linear All-to-All algorithm only, degree-1 (no overlap);
+* the raw ``(W, dE, dC, M)`` All-to-All output layout feeding experts;
+* static parallelism.
+
+Both halves are provided: a *functional* layer that really computes
+(dense encode path over NumPy) and an *execution profile* for the
+performance substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.memory import MemoryBreakdown, dense_moe_memory
+from repro.core.config import MoEConfig
+from repro.moe.capacity import CapacityPolicy
+from repro.moe.encode import dense_decode, dense_encode
+from repro.moe.gating import load_balance_loss, softmax, top_k_routing
+from repro.moe.layer import MoELayerParams, MoEOutput, _gate_logits, expert_ffn
+from repro.runtime.plan import FAIRSEQ_FEATURES, ExecutionFeatures
+
+__all__ = [
+    "fairseq_features",
+    "fairseq_moe_forward",
+    "fairseq_memory",
+]
+
+
+def fairseq_features() -> ExecutionFeatures:
+    """Execution profile of the Fairseq MoE baseline."""
+    return FAIRSEQ_FEATURES
+
+
+def fairseq_moe_forward(x: np.ndarray, params: MoELayerParams,
+                        top_k: int | None = None,
+                        capacity_factor: float = 1.0) -> MoEOutput:
+    """Single-process Fairseq-style forward using the dense encode path.
+
+    Numerically identical to the Tutel layer; the difference is the
+    O(T * E * dC * M) dense einsum work and the materialized one-hot
+    tensors.  Fairseq supports neither adaptive capacity (f <= 0) nor
+    per-iteration ``k`` changes, so only a fixed positive factor is
+    accepted.
+    """
+    if capacity_factor <= 0:
+        raise ValueError(
+            "Fairseq baseline requires a fixed positive capacity factor")
+    k = top_k if top_k is not None else params.top_k
+    logits = _gate_logits(x, params)
+    probs = softmax(logits)
+    policy = CapacityPolicy(capacity_factor)
+    from repro.moe.capacity import resolve_capacity
+    idxs_probe = np.argsort(-probs, axis=1, kind="stable")[:, :k].T
+    cap, eff_f = resolve_capacity(policy, idxs_probe,
+                                  params.experts.num_experts,
+                                  tokens=x.shape[0], top_k=k)
+    crit = top_k_routing(probs, k, cap,
+                         normalize_gate=params.normalize_gate,
+                         batch_prioritized=False)
+    l_aux = load_balance_loss(probs, crit.idxs)
+    dispatched = dense_encode(x, crit)
+    expert_out = expert_ffn(dispatched, params.experts, params.activation)
+    output = dense_decode(expert_out, crit)
+    return MoEOutput(output=output, l_aux=l_aux, crit=crit,
+                     effective_capacity_factor=eff_f)
+
+
+def fairseq_memory(cfg: MoEConfig) -> MemoryBreakdown:
+    """Per-GPU memory of the Fairseq dense path (Table 4 left column)."""
+    return dense_moe_memory(cfg)

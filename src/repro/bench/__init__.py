@@ -1,0 +1,5 @@
+"""Bench harness utilities shared by the benchmarks/ scripts."""
+
+from repro.bench.harness import Table, format_speedup, geometric_mean
+
+__all__ = ["Table", "format_speedup", "geometric_mean"]

@@ -1,0 +1,63 @@
+"""Shared bench-harness utilities: result rows and table printing.
+
+Every ``benchmarks/bench_*.py`` regenerates one table or figure of the
+paper.  The helpers here keep the output format uniform: a title line
+naming the paper artifact, aligned columns, and (when available) the
+paper's reported value next to the measured one so the shape comparison
+is one glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["Table", "format_speedup", "geometric_mean"]
+
+
+def format_speedup(ratio: float) -> str:
+    return f"{ratio:.2f}x"
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"geometric_mean requires positives, got {v}")
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+@dataclass
+class Table:
+    """Aligned text table with a paper-artifact title."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}")
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [f"== {self.title} =="]
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w)
+                                   for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print(self.render())
+        print()

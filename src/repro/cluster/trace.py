@@ -1,0 +1,60 @@
+"""Chrome-trace export for simulator results.
+
+Converts a :class:`SimResult` into the Trace Event Format understood by
+``chrome://tracing`` / Perfetto, with one process row per GPU and one
+thread row per stream — the standard way to eyeball how well a
+pipelining schedule overlaps communication and computation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cluster.simulator import SimResult
+
+__all__ = ["to_chrome_trace", "save_chrome_trace"]
+
+_COLORS = {
+    "compute": "thread_state_running",
+    "comm": "rail_response",
+    "comm_memcpy": "rail_animation",
+    "host": "grey",
+}
+
+
+def to_chrome_trace(result: SimResult,
+                    time_scale: float = 1e6) -> list[dict]:
+    """Trace events (``ph: "X"`` complete events) for every op span.
+
+    ``time_scale`` converts simulated seconds into trace microseconds.
+    Zero-duration bookkeeping ops (barriers) are emitted as instant
+    events so they remain visible.
+    """
+    events: list[dict] = []
+    for op, (start, end) in sorted(result.spans.items(),
+                                   key=lambda kv: kv[1][0]):
+        base = {
+            "name": op.label or op.kind,
+            "pid": f"gpu{op.gpu}",
+            "tid": op.stream,
+            "ts": start * time_scale,
+            "cname": _COLORS.get(op.kind, "grey"),
+            "args": {"kind": op.kind, "work_seconds": op.work},
+        }
+        if end > start:
+            events.append({**base, "ph": "X",
+                           "dur": (end - start) * time_scale})
+        else:
+            events.append({**base, "ph": "i", "s": "t"})
+    return events
+
+
+def save_chrome_trace(result: SimResult, path: str | Path,
+                      time_scale: float = 1e6) -> Path:
+    """Write ``result`` as a chrome://tracing JSON file."""
+    path = Path(path)
+    payload = {"traceEvents": to_chrome_trace(result, time_scale),
+               "displayTimeUnit": "ms"}
+    path.write_text(json.dumps(payload, indent=1))
+    return path

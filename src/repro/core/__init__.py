@@ -1,0 +1,15 @@
+"""Core configuration and shared utilities."""
+
+from repro.core.config import MoEConfig, expert_capacity
+from repro.core.units import GIB, KIB, MIB, fmt_bytes, fmt_rate, fmt_time
+
+__all__ = [
+    "MoEConfig",
+    "expert_capacity",
+    "KIB",
+    "MIB",
+    "GIB",
+    "fmt_bytes",
+    "fmt_time",
+    "fmt_rate",
+]

@@ -1,0 +1,40 @@
+"""Small unit helpers used across cost models and bench output."""
+
+from __future__ import annotations
+
+__all__ = [
+    "KIB", "MIB", "GIB",
+    "US", "MS",
+    "fmt_bytes", "fmt_time", "fmt_rate",
+]
+
+KIB = 1024
+MIB = 1024 ** 2
+GIB = 1024 ** 3
+
+US = 1e-6
+MS = 1e-3
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with a binary unit suffix."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.2f} {unit}" if unit != "B" else f"{value:.0f} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration with an adaptive unit (us / ms / s)."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"
+
+
+def fmt_rate(bytes_per_second: float) -> str:
+    """Format a bandwidth in GB/s (decimal, as NCCL reports busbw)."""
+    return f"{bytes_per_second / 1e9:.2f} GB/s"

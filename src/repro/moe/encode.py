@@ -1,0 +1,179 @@
+"""Encode (dispatch-input generation) and decode (combine) kernels.
+
+Two computationally equivalent implementations, mirroring paper
+Figure 18 and Section 4.2:
+
+* the **dense** GShard/Fairseq path materializes one-hot location
+  tensors and an ``(T, E, dC)`` combine-weights tensor, then uses
+  einsums — ``O(T * E * dC * M)`` work, almost all of it multiplying
+  zeros;
+* the **sparse** Tutel path scatters/gathers exactly the ``O(T * k * M)``
+  useful elements (kernels K0/K1/K2 of Figure 19), including the
+  backward-pass computations so a training step never needs the dense
+  tensors.
+
+Both paths accept the same :class:`RoutingCriteria` and produce
+identical numerics; the tests assert elementwise agreement and the
+Figure 24 bench measures the (real, CPU) speed gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.moe.gating import RoutingCriteria
+
+__all__ = [
+    "dense_dispatch_mask",
+    "dense_combine_weights",
+    "dense_encode",
+    "dense_decode",
+    "fast_encode",
+    "fast_encode_backward",
+    "fast_decode",
+    "fast_decode_backward",
+]
+
+
+# ----------------------------------------------------------------------
+# Dense (GShard / Fairseq) implementation — Figure 18a
+# ----------------------------------------------------------------------
+
+def dense_combine_weights(crit: RoutingCriteria) -> np.ndarray:
+    """The ``(T, E, dC)`` combine-weights tensor of Figure 18a.
+
+    ``combine[t, e, c] = gate`` iff some top-k slot routed token ``t``
+    to expert ``e`` at queue position ``c`` within capacity.
+    """
+    t = crit.num_tokens
+    combine = np.zeros((t, crit.num_experts, crit.capacity))
+    valid = crit.valid
+    for slot in range(crit.top_k):
+        sel = valid[slot]
+        combine[np.arange(t)[sel], crit.idxs[slot, sel],
+                crit.locations[slot, sel]] += crit.gates[slot, sel]
+    return combine
+
+
+def dense_dispatch_mask(crit: RoutingCriteria) -> np.ndarray:
+    """Boolean ``(T, E, dC)`` mask: which token fills which slot."""
+    return dense_combine_weights(crit) > 0
+
+
+def dense_encode(x: np.ndarray, crit: RoutingCriteria) -> np.ndarray:
+    """Dense dispatch: ``einsum("tec,tm->ecm", mask, x)``."""
+    _check_tokens(x, crit)
+    mask = dense_dispatch_mask(crit).astype(x.dtype)
+    return np.einsum("tec,tm->ecm", mask, x, optimize=True)
+
+
+def dense_decode(expert_output: np.ndarray,
+                 crit: RoutingCriteria) -> np.ndarray:
+    """Dense combine: ``einsum("tec,ecm->tm", combine, expert_output)``."""
+    _check_dispatched(expert_output, crit)
+    combine = dense_combine_weights(crit).astype(expert_output.dtype)
+    return np.einsum("tec,ecm->tm", combine, expert_output,
+                     optimize=True)
+
+
+# ----------------------------------------------------------------------
+# Sparse (Tutel fast encode/decode) implementation — Figure 18b / 19
+# ----------------------------------------------------------------------
+
+def _flat_routes(crit: RoutingCriteria) -> tuple[np.ndarray, np.ndarray,
+                                                 np.ndarray]:
+    """Valid routes flattened: (token index, flat cell index, gate)."""
+    valid = crit.valid & (crit.gates != 0)
+    slots, tokens = np.nonzero(valid)
+    cells = (crit.idxs[slots, tokens] * crit.capacity
+             + crit.locations[slots, tokens])
+    gates = crit.gates[slots, tokens]
+    return tokens, cells, gates
+
+
+def fast_encode(x: np.ndarray, crit: RoutingCriteria) -> np.ndarray:
+    """Sparse dispatch (kernel K0 forward): scatter tokens into
+    ``(E, dC, M)`` capacity cells; ``O(T * k * M)`` work."""
+    _check_tokens(x, crit)
+    tokens, cells, _ = _flat_routes(crit)
+    out = np.zeros((crit.num_experts * crit.capacity, x.shape[1]),
+                   dtype=x.dtype)
+    # Queue positions are unique per expert, so '=' and '+=' agree.
+    out[cells] = x[tokens]
+    return out.reshape(crit.num_experts, crit.capacity, x.shape[1])
+
+
+def fast_encode_backward(grad_dispatched: np.ndarray,
+                         crit: RoutingCriteria) -> np.ndarray:
+    """Gradient of :func:`fast_encode` w.r.t. the token input ``x``.
+
+    Kernel K1 applied to the encode op: each token gathers the
+    gradients of every cell it was scattered to.
+    """
+    _check_dispatched(grad_dispatched, crit)
+    tokens, cells, _ = _flat_routes(crit)
+    m = grad_dispatched.shape[-1]
+    flat = grad_dispatched.reshape(-1, m)
+    grad_x = np.zeros((crit.num_tokens, m), dtype=grad_dispatched.dtype)
+    np.add.at(grad_x, tokens, flat[cells])
+    return grad_x
+
+
+def fast_decode(expert_output: np.ndarray,
+                crit: RoutingCriteria) -> np.ndarray:
+    """Sparse combine (kernel K1 forward):
+    ``Y[t] = sum_slots gate * Z[idx, loc]``."""
+    _check_dispatched(expert_output, crit)
+    tokens, cells, gates = _flat_routes(crit)
+    m = expert_output.shape[-1]
+    flat = expert_output.reshape(-1, m)
+    out = np.zeros((crit.num_tokens, m), dtype=expert_output.dtype)
+    np.add.at(out, tokens, gates[:, None] * flat[cells])
+    return out
+
+
+def fast_decode_backward(grad_output: np.ndarray, expert_output: np.ndarray,
+                         crit: RoutingCriteria
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """Gradients of :func:`fast_decode` (kernels K0 and K2 of Fig. 19).
+
+    Returns ``(grad_expert_output, grad_gates)`` where ``grad_gates``
+    has the ``(k, T)`` layout of ``crit.gates`` (zeros at invalid
+    slots) so the gating function can be trained through the combine.
+    """
+    _check_dispatched(expert_output, crit)
+    if grad_output.shape != (crit.num_tokens, expert_output.shape[-1]):
+        raise ValueError(
+            f"grad_output shape {grad_output.shape} does not match "
+            f"(T={crit.num_tokens}, M={expert_output.shape[-1]})")
+    tokens, cells, gates = _flat_routes(crit)
+    m = expert_output.shape[-1]
+    flat_z = expert_output.reshape(-1, m)
+
+    grad_z = np.zeros_like(flat_z)
+    np.add.at(grad_z, cells, gates[:, None] * grad_output[tokens])
+    grad_z = grad_z.reshape(expert_output.shape)
+
+    grad_gates = np.zeros_like(crit.gates)
+    valid = crit.valid & (crit.gates != 0)
+    slots, toks = np.nonzero(valid)
+    grad_gates[slots, toks] = np.einsum(
+        "rm,rm->r", grad_output[tokens], flat_z[cells])
+    return grad_z, grad_gates
+
+
+# ----------------------------------------------------------------------
+# Shape checks
+# ----------------------------------------------------------------------
+
+def _check_tokens(x: np.ndarray, crit: RoutingCriteria) -> None:
+    if x.ndim != 2 or x.shape[0] != crit.num_tokens:
+        raise ValueError(
+            f"x must be (T={crit.num_tokens}, M), got {x.shape}")
+
+
+def _check_dispatched(z: np.ndarray, crit: RoutingCriteria) -> None:
+    if z.ndim != 3 or z.shape[:2] != (crit.num_experts, crit.capacity):
+        raise ValueError(
+            f"dispatched tensor must be (E={crit.num_experts}, "
+            f"dC={crit.capacity}, M), got {z.shape}")

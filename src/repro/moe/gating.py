@@ -1,0 +1,257 @@
+"""Gating functions and token routing for MoE layers.
+
+Implements the routing stack of the paper's Sections 2.1, 4.1, 5.3.4
+and 5.3.3:
+
+* a **linear router** (GShard-style logits = ``x @ Wg``),
+* the **cosine router** of Equation (2) with a learnable temperature
+  clamped from below at 0.01,
+* **top-k routing** for any ``1 <= k <= E`` ("top-ANY"), with the
+  GShard load-balancing auxiliary loss,
+* **batch prioritized routing** (BPR): capacity slots are assigned in
+  decreasing order of routing confidence rather than batch order, which
+  matters at low capacity factors (paper Figure 25).
+
+Everything is dtype-preserving vectorized NumPy; tokens are rows of an
+``(T, M)`` array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "softmax",
+    "linear_gate_logits",
+    "cosine_gate_logits",
+    "RoutingCriteria",
+    "top_k_routing",
+    "load_balance_loss",
+    "compute_locations",
+]
+
+_MIN_TEMPERATURE = 0.01
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def linear_gate_logits(x: np.ndarray, gate_weight: np.ndarray) -> np.ndarray:
+    """Linear router logits ``(T, E) = x (T, M) @ gate_weight (M, E)``."""
+    if x.ndim != 2 or gate_weight.ndim != 2:
+        raise ValueError("x and gate_weight must be 2-D")
+    if x.shape[1] != gate_weight.shape[0]:
+        raise ValueError(
+            f"model dim mismatch: x has {x.shape[1]}, gate expects "
+            f"{gate_weight.shape[0]}")
+    return x @ gate_weight
+
+
+def cosine_gate_logits(x: np.ndarray, proj: np.ndarray,
+                       expert_embed: np.ndarray,
+                       temperature: float = 0.3) -> np.ndarray:
+    """Cosine router of paper Equation (2).
+
+    ``P = softmax(cos(W x, M) / tau)`` — this returns the pre-softmax
+    scores ``cos(W x, M) / tau``; combine with :func:`softmax`.
+
+    Parameters
+    ----------
+    x:
+        Token features ``(T, C)``.
+    proj:
+        Linear projection ``W`` of shape ``(C, D)``.
+    expert_embed:
+        Parametric expert matrix ``M`` of shape ``(E, D)``.
+    temperature:
+        Learnable temperature ``tau``; clamped at 0.01 from below as in
+        the paper to avoid degenerate sharpness.
+    """
+    if x.shape[1] != proj.shape[0]:
+        raise ValueError(
+            f"model dim mismatch: x has {x.shape[1]}, proj expects "
+            f"{proj.shape[0]}")
+    if proj.shape[1] != expert_embed.shape[1]:
+        raise ValueError(
+            f"router dim mismatch: proj gives {proj.shape[1]}, expert "
+            f"embeddings have {expert_embed.shape[1]}")
+    tau = max(float(temperature), _MIN_TEMPERATURE)
+    projected = x @ proj                                        # (T, D)
+    x_norm = np.linalg.norm(projected, axis=1, keepdims=True)
+    e_norm = np.linalg.norm(expert_embed, axis=1, keepdims=True)
+    denom = np.maximum(x_norm * e_norm.T, 1e-12)
+    cosine = (projected @ expert_embed.T) / denom               # (T, E)
+    return cosine / tau
+
+
+@dataclass
+class RoutingCriteria:
+    """The ``crit`` object produced by routing and consumed by
+    encode/decode (paper Figure 8).
+
+    Attributes
+    ----------
+    idxs:
+        ``(k, T)`` int array — expert index per top-k slot per token.
+    locations:
+        ``(k, T)`` int array — the token's position in its expert's
+        capacity queue.
+    gates:
+        ``(k, T)`` float array — routing weight for each slot
+        (renormalized over the selected experts when requested).
+    capacity:
+        ``dC`` — capacity slots per expert on this rank.
+    num_experts:
+        ``E`` — global expert count.
+    """
+
+    idxs: np.ndarray
+    locations: np.ndarray
+    gates: np.ndarray
+    capacity: int
+    num_experts: int
+
+    def __post_init__(self) -> None:
+        if self.idxs.shape != self.locations.shape != self.gates.shape:
+            raise ValueError("idxs, locations, gates must share a shape")
+        if self.idxs.ndim != 2:
+            raise ValueError("routing arrays must be (k, T)")
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+        if self.num_experts < 1:
+            raise ValueError("num_experts must be >= 1")
+
+    @property
+    def top_k(self) -> int:
+        return self.idxs.shape[0]
+
+    @property
+    def num_tokens(self) -> int:
+        return self.idxs.shape[1]
+
+    @property
+    def valid(self) -> np.ndarray:
+        """(k, T) bool — slots that survived the capacity limit."""
+        return (self.locations >= 0) & (self.locations < self.capacity)
+
+    def dropped_fraction(self) -> float:
+        """Fraction of (token, slot) routes dropped by the capacity."""
+        return 1.0 - float(self.valid.mean())
+
+    def max_needed_capacity(self) -> int:
+        """Smallest ``dC`` that would drop nothing for this routing."""
+        return int(self.locations.max()) + 1
+
+
+def compute_locations(idxs: np.ndarray, num_experts: int,
+                      priority: np.ndarray | None = None) -> np.ndarray:
+    """Capacity-queue positions for each (slot, token) routing decision.
+
+    For every expert, tokens routed to it are numbered 0, 1, 2, ... in
+    arrival order; slots of lower ``k`` index are served before higher
+    ones (GShard semantics).  With ``priority`` given (higher = more
+    important), numbering follows decreasing priority instead of batch
+    order — this is batch prioritized routing.
+
+    Parameters
+    ----------
+    idxs:
+        ``(k, T)`` int array of expert assignments.
+    num_experts:
+        Global expert count ``E``.
+    priority:
+        Optional ``(T,)`` priority scores.
+
+    Returns
+    -------
+    np.ndarray
+        ``(k, T)`` int array of queue positions.
+    """
+    k, t = idxs.shape
+    if priority is not None and priority.shape != (t,):
+        raise ValueError(
+            f"priority must have shape ({t},), got {priority.shape}")
+    order = (np.argsort(-priority, kind="stable") if priority is not None
+             else np.arange(t))
+
+    locations = np.empty((k, t), dtype=np.int64)
+    counts = np.zeros(num_experts, dtype=np.int64)
+    for slot in range(k):
+        assigned = idxs[slot, order]                      # (T,) in priority order
+        one_hot = np.zeros((t, num_experts), dtype=np.int64)
+        one_hot[np.arange(t), assigned] = 1
+        pos_in_order = one_hot.cumsum(axis=0) - 1         # 0-based per expert
+        slot_locations = (pos_in_order[np.arange(t), assigned]
+                          + counts[assigned])
+        locations[slot, order] = slot_locations
+        counts += one_hot.sum(axis=0)
+    return locations
+
+
+def top_k_routing(gate_probs: np.ndarray, top_k: int, capacity: int,
+                  normalize_gate: bool = True,
+                  batch_prioritized: bool = False) -> RoutingCriteria:
+    """Route each token to its ``top_k`` experts under a capacity limit.
+
+    Parameters
+    ----------
+    gate_probs:
+        ``(T, E)`` softmax routing probabilities.
+    top_k:
+        Fan-out ``k``; any value in ``[1, E]`` ("top-ANY", Section 4.1).
+    capacity:
+        Capacity ``dC`` per expert; tokens whose queue position reaches
+        it are dropped (their slot is marked invalid).
+    normalize_gate:
+        Renormalize the selected slots' probabilities to sum to one per
+        token, as GShard does for k > 1.
+    batch_prioritized:
+        Enable BPR: capacity slots assigned in order of decreasing
+        top-1 confidence (paper Figure 25).
+    """
+    if gate_probs.ndim != 2:
+        raise ValueError("gate_probs must be (T, E)")
+    t, e = gate_probs.shape
+    if not 1 <= top_k <= e:
+        raise ValueError(f"top_k must be in [1, {e}], got {top_k}")
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+
+    # Slot j holds each token's j-th best expert.
+    top_idxs = np.argsort(-gate_probs, axis=1, kind="stable")[:, :top_k]
+    idxs = top_idxs.T.copy()                                   # (k, T)
+    gates = np.take_along_axis(gate_probs, top_idxs, axis=1).T.copy()
+
+    if normalize_gate:
+        denom = np.maximum(gates.sum(axis=0, keepdims=True), 1e-12)
+        gates = gates / denom
+
+    priority = gate_probs.max(axis=1) if batch_prioritized else None
+    locations = compute_locations(idxs, e, priority=priority)
+
+    crit = RoutingCriteria(idxs=idxs, locations=locations, gates=gates,
+                           capacity=capacity, num_experts=e)
+    # Zero the gates of dropped slots so decode ignores them.
+    crit.gates = np.where(crit.valid, crit.gates, 0.0)
+    return crit
+
+
+def load_balance_loss(gate_probs: np.ndarray,
+                      idxs: np.ndarray) -> float:
+    """GShard auxiliary load-balancing loss.
+
+    ``l_aux = E * sum_e mean_prob(e) * routed_fraction(e)`` using the
+    top-1 assignments; equals 1.0 under perfectly uniform routing.
+    """
+    t, e = gate_probs.shape
+    top1 = idxs[0] if idxs.ndim == 2 else idxs
+    counts = np.bincount(top1, minlength=e).astype(np.float64)
+    routed_fraction = counts / t
+    mean_prob = gate_probs.mean(axis=0)
+    return float(e * np.sum(mean_prob * routed_fraction))

@@ -1,0 +1,214 @@
+"""Functional single-process MoE layer.
+
+Composes the gating, capacity and encode/decode pieces into the full
+forward pass of Figure 2 (gate -> dispatch -> expert fflayer ->
+combine), without distribution.  The multi-rank version that exercises
+Flexible All-to-All lives in :mod:`repro.moe.distributed`; the
+trainable version with autograd lives in :mod:`repro.nn.moe`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.moe.capacity import CapacityPolicy, resolve_capacity
+from repro.moe.encode import dense_decode, dense_encode, fast_decode, fast_encode
+from repro.moe.gating import (
+    RoutingCriteria,
+    cosine_gate_logits,
+    linear_gate_logits,
+    load_balance_loss,
+    softmax,
+    top_k_routing,
+)
+
+__all__ = [
+    "ExpertParams",
+    "expert_ffn",
+    "MoELayerParams",
+    "MoEOutput",
+    "moe_layer_forward",
+]
+
+
+def _gelu(x: np.ndarray) -> np.ndarray:
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi)
+                                    * (x + 0.044715 * x ** 3)))
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+_ACTIVATIONS = {"relu": _relu, "gelu": _gelu}
+
+
+@dataclass
+class ExpertParams:
+    """Per-expert feed-forward weights.
+
+    ``w1`` has shape ``(E, M, V)`` and ``w2`` shape ``(E, V, M)`` —
+    one fflayer (two GEMMs) per expert.
+    """
+
+    w1: np.ndarray
+    w2: np.ndarray
+    b1: np.ndarray | None = None
+    b2: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.w1.ndim != 3 or self.w2.ndim != 3:
+            raise ValueError("expert weights must be (E, in, out)")
+        e, m, v = self.w1.shape
+        if self.w2.shape != (e, v, m):
+            raise ValueError(
+                f"w2 shape {self.w2.shape} incompatible with w1 "
+                f"{self.w1.shape}")
+
+    @property
+    def num_experts(self) -> int:
+        return self.w1.shape[0]
+
+    @property
+    def model_dim(self) -> int:
+        return self.w1.shape[1]
+
+    @property
+    def hidden_dim(self) -> int:
+        return self.w1.shape[2]
+
+    @staticmethod
+    def init(num_experts: int, model_dim: int, hidden_dim: int,
+             rng: np.random.Generator, scale: float | None = None
+             ) -> "ExpertParams":
+        """He-style initialization of all experts."""
+        s1 = scale or (2.0 / model_dim) ** 0.5
+        s2 = scale or (2.0 / hidden_dim) ** 0.5
+        return ExpertParams(
+            w1=rng.normal(0.0, s1, (num_experts, model_dim, hidden_dim)),
+            w2=rng.normal(0.0, s2, (num_experts, hidden_dim, model_dim)),
+            b1=np.zeros((num_experts, hidden_dim)),
+            b2=np.zeros((num_experts, model_dim)),
+        )
+
+
+def expert_ffn(dispatched: np.ndarray, experts: ExpertParams,
+               activation: str = "gelu") -> np.ndarray:
+    """Apply each expert's fflayer to its capacity slice.
+
+    ``dispatched`` is ``(E, C, M)``; returns the same shape.
+    """
+    if dispatched.ndim != 3:
+        raise ValueError(f"dispatched must be (E, C, M), got "
+                         f"{dispatched.shape}")
+    if dispatched.shape[0] != experts.num_experts:
+        raise ValueError(
+            f"dispatched has {dispatched.shape[0]} experts, params have "
+            f"{experts.num_experts}")
+    act = _ACTIVATIONS[activation]
+    hidden = np.einsum("ecm,emv->ecv", dispatched, experts.w1)
+    if experts.b1 is not None:
+        hidden = hidden + experts.b1[:, None, :]
+    hidden = act(hidden)
+    out = np.einsum("ecv,evm->ecm", hidden, experts.w2)
+    if experts.b2 is not None:
+        out = out + experts.b2[:, None, :]
+    return out
+
+
+@dataclass
+class MoELayerParams:
+    """All parameters + routing configuration of one MoE layer."""
+
+    experts: ExpertParams
+    gate_weight: np.ndarray                  # (M, E) for the linear router
+    top_k: int = 2
+    capacity: CapacityPolicy = field(
+        default_factory=lambda: CapacityPolicy(1.0))
+    router: str = "linear"                   # or "cosine"
+    cosine_proj: np.ndarray | None = None    # (M, D)
+    cosine_embed: np.ndarray | None = None   # (E, D)
+    cosine_temperature: float = 0.3
+    normalize_gate: bool = True
+    batch_prioritized: bool = False
+    activation: str = "gelu"
+    use_fast_encode: bool = True
+
+    @staticmethod
+    def init(num_experts: int, model_dim: int, hidden_dim: int,
+             rng: np.random.Generator, router: str = "linear",
+             router_dim: int = 256, **kwargs) -> "MoELayerParams":
+        experts = ExpertParams.init(num_experts, model_dim, hidden_dim, rng)
+        gate = rng.normal(0.0, model_dim ** -0.5, (model_dim, num_experts))
+        cosine_proj = cosine_embed = None
+        if router == "cosine":
+            cosine_proj = rng.normal(0.0, model_dim ** -0.5,
+                                     (model_dim, router_dim))
+            cosine_embed = rng.normal(0.0, router_dim ** -0.5,
+                                      (num_experts, router_dim))
+        return MoELayerParams(experts=experts, gate_weight=gate,
+                              router=router, cosine_proj=cosine_proj,
+                              cosine_embed=cosine_embed, **kwargs)
+
+
+@dataclass
+class MoEOutput:
+    """Forward results plus the diagnostics the adaptive runtime uses."""
+
+    output: np.ndarray
+    l_aux: float
+    crit: RoutingCriteria
+    effective_capacity_factor: float
+
+    @property
+    def dropped_fraction(self) -> float:
+        return self.crit.dropped_fraction()
+
+
+def _gate_logits(x: np.ndarray, params: MoELayerParams) -> np.ndarray:
+    if params.router == "linear":
+        return linear_gate_logits(x, params.gate_weight)
+    if params.router == "cosine":
+        if params.cosine_proj is None or params.cosine_embed is None:
+            raise ValueError("cosine router requires proj and embed params")
+        return cosine_gate_logits(x, params.cosine_proj,
+                                  params.cosine_embed,
+                                  params.cosine_temperature)
+    raise ValueError(f"unknown router {params.router!r}")
+
+
+def moe_layer_forward(x: np.ndarray, params: MoELayerParams,
+                      top_k: int | None = None,
+                      capacity: CapacityPolicy | None = None) -> MoEOutput:
+    """Full single-process MoE layer forward pass.
+
+    ``top_k`` and ``capacity`` may be overridden per call — this is the
+    dynamic top-ANY / dynamic capacity-factor feature of Section 4.1.
+    """
+    if x.ndim != 2:
+        raise ValueError(f"x must be (T, M), got {x.shape}")
+    k = top_k if top_k is not None else params.top_k
+    policy = capacity if capacity is not None else params.capacity
+
+    logits = _gate_logits(x, params)
+    probs = softmax(logits)
+    # Pre-routing pass at unlimited capacity to discover the needed
+    # queue lengths, then the policy decides the actual capacity.
+    idxs_probe = np.argsort(-probs, axis=1, kind="stable")[:, :k].T
+    cap, eff_f = resolve_capacity(policy, idxs_probe,
+                                  params.experts.num_experts,
+                                  tokens=x.shape[0], top_k=k)
+    crit = top_k_routing(probs, k, cap,
+                         normalize_gate=params.normalize_gate,
+                         batch_prioritized=params.batch_prioritized)
+    l_aux = load_balance_loss(probs, crit.idxs)
+
+    encode = fast_encode if params.use_fast_encode else dense_encode
+    decode = fast_decode if params.use_fast_encode else dense_decode
+    dispatched = encode(x, crit)
+    expert_out = expert_ffn(dispatched, params.experts, params.activation)
+    output = decode(expert_out, crit)
+    return MoEOutput(output=output, l_aux=l_aux, crit=crit,
+                     effective_capacity_factor=eff_f)

@@ -1,0 +1,123 @@
+"""Routing diagnostics for MoE layers.
+
+The observability layer a production MoE stack needs: expert load
+distributions, balance indices, drop statistics and routing-confidence
+summaries.  These are the quantities behind the paper's dynamic-
+workload analysis (Figure 1 plots the implied needed capacity; the aux
+loss of GShard optimizes the load-balance index reported here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.moe.gating import RoutingCriteria
+
+__all__ = [
+    "RoutingStats",
+    "routing_stats",
+    "expert_load",
+    "load_imbalance",
+    "routing_entropy",
+]
+
+
+def expert_load(crit: RoutingCriteria,
+                count_dropped: bool = True) -> np.ndarray:
+    """Tokens routed to each expert (``(E,)`` counts).
+
+    With ``count_dropped=False`` only slots that survived the capacity
+    limit are counted — the load the experts actually process.
+    """
+    if count_dropped:
+        idxs = crit.idxs.reshape(-1)
+    else:
+        mask = crit.valid & (crit.gates != 0)
+        idxs = crit.idxs[mask]
+    return np.bincount(idxs, minlength=crit.num_experts)
+
+
+def load_imbalance(crit: RoutingCriteria) -> float:
+    """Max-over-mean expert load (1.0 = perfectly balanced).
+
+    This is the quantity the capacity factor must cover: the needed
+    capacity factor of Figure 1 equals this ratio for top-1 routing.
+    """
+    load = expert_load(crit).astype(np.float64)
+    mean = load.mean()
+    if mean == 0:
+        return 1.0
+    return float(load.max() / mean)
+
+
+def routing_entropy(crit: RoutingCriteria,
+                    normalized: bool = True) -> float:
+    """Shannon entropy of the expert load distribution.
+
+    1.0 (normalized) means uniform expert usage; 0 means collapse onto
+    a single expert — the failure mode the auxiliary loss prevents.
+    """
+    load = expert_load(crit).astype(np.float64)
+    total = load.sum()
+    if total == 0:
+        return 0.0
+    p = load / total
+    nz = p[p > 0]
+    entropy = float(-(nz * np.log(nz)).sum())
+    if not normalized:
+        return entropy
+    if crit.num_experts <= 1:
+        return 1.0
+    return entropy / np.log(crit.num_experts)
+
+
+@dataclass(frozen=True)
+class RoutingStats:
+    """One routing decision's diagnostic summary."""
+
+    num_tokens: int
+    num_experts: int
+    top_k: int
+    capacity: int
+    dropped_fraction: float
+    load_imbalance: float
+    routing_entropy: float
+    needed_capacity: int
+    mean_top1_confidence: float
+
+    def describe(self) -> str:
+        return (f"T={self.num_tokens} E={self.num_experts} "
+                f"k={self.top_k} dC={self.capacity} "
+                f"drop={self.dropped_fraction:.1%} "
+                f"imbalance={self.load_imbalance:.2f} "
+                f"entropy={self.routing_entropy:.2f}")
+
+
+def routing_stats(crit: RoutingCriteria,
+                  gate_probs: np.ndarray | None = None) -> RoutingStats:
+    """Compute the full diagnostic summary for one routing decision.
+
+    ``gate_probs`` (the ``(T, E)`` softmax output) adds the mean top-1
+    confidence — the priority signal batch prioritized routing sorts
+    by; without it the selected-slot gates are used instead.
+    """
+    if gate_probs is not None:
+        if gate_probs.shape != (crit.num_tokens, crit.num_experts):
+            raise ValueError(
+                f"gate_probs must be (T={crit.num_tokens}, "
+                f"E={crit.num_experts}), got {gate_probs.shape}")
+        confidence = float(gate_probs.max(axis=1).mean())
+    else:
+        confidence = float(crit.gates.max(axis=0).mean())
+    return RoutingStats(
+        num_tokens=crit.num_tokens,
+        num_experts=crit.num_experts,
+        top_k=crit.top_k,
+        capacity=crit.capacity,
+        dropped_fraction=crit.dropped_fraction(),
+        load_imbalance=load_imbalance(crit),
+        routing_entropy=routing_entropy(crit),
+        needed_capacity=crit.max_needed_capacity(),
+        mean_top1_confidence=confidence)

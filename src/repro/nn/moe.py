@@ -1,0 +1,169 @@
+"""Trainable MoE layer module (the API of paper Figure 8, trainable).
+
+Routing (top-k selection, capacity assignment, BPR ordering) is a
+discrete decision computed outside the tape; the gate *values* flow
+through :func:`moe_combine` so the router trains end to end, and the
+GShard load-balancing auxiliary loss is returned alongside the output.
+Supports the dynamic features of Section 4.1: per-call ``top_k``
+("top-ANY") and dynamic capacity-factor semantics, plus the cosine
+router of Equation (2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.functional import gelu, relu, softmax, take_along
+from repro.autograd.moe_ops import (
+    batched_expert_ffn_input,
+    moe_combine,
+    moe_dispatch,
+)
+from repro.autograd.tensor import Tensor
+from repro.moe.capacity import CapacityPolicy, resolve_capacity
+from repro.moe.gating import RoutingCriteria, compute_locations
+from repro.nn.modules import Linear, Module
+
+__all__ = ["MoE"]
+
+
+class MoE(Module):
+    """Trainable mixture-of-experts feed-forward layer.
+
+    Parameters
+    ----------
+    model_dim / hidden_dim:
+        Expert fflayer dimensions (M and V).
+    num_experts:
+        Global expert count E.
+    top_k:
+        Default routing fan-out (overridable per call).
+    capacity_factor:
+        Figure 16 semantics — positive fixed, 0 adaptive, negative
+        adaptive with bound.
+    router:
+        ``"linear"`` or ``"cosine"`` (Equation 2).
+    batch_prioritized:
+        Assign capacity by confidence instead of batch order (BPR).
+    """
+
+    def __init__(self, model_dim: int, hidden_dim: int, num_experts: int,
+                 rng: np.random.Generator, top_k: int = 2,
+                 capacity_factor: float = 1.0, router: str = "linear",
+                 router_dim: int = 256, activation: str = "gelu",
+                 normalize_gate: bool = True,
+                 batch_prioritized: bool = False) -> None:
+        if num_experts < 1:
+            raise ValueError(f"num_experts must be >= 1, got {num_experts}")
+        if not 1 <= top_k <= num_experts:
+            raise ValueError(
+                f"top_k must be in [1, {num_experts}], got {top_k}")
+        self.model_dim = model_dim
+        self.hidden_dim = hidden_dim
+        self.num_experts = num_experts
+        self.top_k = top_k
+        self.capacity_policy = CapacityPolicy(capacity_factor)
+        self.router = router
+        self.activation = activation
+        self.normalize_gate = normalize_gate
+        self.batch_prioritized = batch_prioritized
+
+        s1 = (2.0 / model_dim) ** 0.5
+        s2 = (2.0 / hidden_dim) ** 0.5
+        self.w1 = Tensor(rng.normal(0.0, s1,
+                                    (num_experts, model_dim, hidden_dim)),
+                         requires_grad=True, name="moe.w1")
+        self.w2 = Tensor(rng.normal(0.0, s2,
+                                    (num_experts, hidden_dim, model_dim)),
+                         requires_grad=True, name="moe.w2")
+        if router == "linear":
+            self.gate = Linear(model_dim, num_experts, rng, bias=False)
+        elif router == "cosine":
+            self.cosine_proj = Linear(model_dim, router_dim, rng,
+                                      bias=False)
+            self.expert_embed = Tensor(
+                rng.normal(0.0, router_dim ** -0.5,
+                           (num_experts, router_dim)),
+                requires_grad=True, name="moe.expert_embed")
+            self.log_temperature = Tensor(np.log(0.3), requires_grad=True,
+                                          name="moe.log_tau")
+        else:
+            raise ValueError(f"unknown router {router!r}")
+
+        # Diagnostics recorded each forward (drives Figure 1 traces).
+        self.last_needed_capacity_factor: float | None = None
+        self.last_effective_capacity_factor: float | None = None
+        self.last_dropped_fraction: float | None = None
+
+    # -- routing ----------------------------------------------------------
+
+    def _gate_logits(self, x: Tensor) -> Tensor:
+        if self.router == "linear":
+            return self.gate(x)
+        projected = self.cosine_proj(x)
+        p_norm = (projected * projected).sum(axis=1, keepdims=True) ** 0.5
+        e_norm = ((self.expert_embed * self.expert_embed)
+                  .sum(axis=1, keepdims=True) ** 0.5)
+        cosine = (projected @ self.expert_embed.T) / (p_norm @ e_norm.T
+                                                      + 1e-12)
+        from repro.autograd.functional import exp as _exp
+        if float(np.exp(self.log_temperature.data)) <= 0.01:
+            # Clamped regime: tau is pinned at the floor (paper: "set
+            # lowest 0.01"), no gradient flows into it.
+            return cosine * (1.0 / 0.01)
+        return cosine * _exp(-self.log_temperature)
+
+    def forward(self, x: Tensor, top_k: int | None = None,
+                capacity_factor: float | None = None
+                ) -> tuple[Tensor, Tensor]:
+        """Returns ``(output, l_aux)``; both differentiable."""
+        if x.ndim != 2:
+            raise ValueError(f"x must be (T, M), got {x.shape}")
+        k = top_k if top_k is not None else self.top_k
+        policy = (CapacityPolicy(capacity_factor)
+                  if capacity_factor is not None else self.capacity_policy)
+        t = x.shape[0]
+
+        logits = self._gate_logits(x)
+        probs = softmax(logits, axis=1)
+
+        # Discrete routing decisions (outside the tape).
+        order = np.argsort(-probs.data, axis=1, kind="stable")[:, :k]
+        idxs = order.T.copy()
+        from repro.moe.capacity import needed_capacity_factor
+        self.last_needed_capacity_factor = needed_capacity_factor(
+            idxs, self.num_experts, t)
+        cap, eff_f = resolve_capacity(policy, idxs, self.num_experts,
+                                      tokens=t, top_k=k)
+        self.last_effective_capacity_factor = eff_f
+        priority = probs.data.max(axis=1) if self.batch_prioritized else None
+        locations = compute_locations(idxs, self.num_experts,
+                                      priority=priority)
+        crit = RoutingCriteria(idxs=idxs, locations=locations,
+                               gates=np.zeros_like(idxs, dtype=np.float64),
+                               capacity=cap, num_experts=self.num_experts)
+        self.last_dropped_fraction = 1.0 - float(crit.valid.mean())
+
+        # Differentiable gate values of the selected slots, (k, T).
+        # Normalization only applies for k > 1 (GShard); with k == 1 the
+        # raw probability scales the expert output (Switch-style), which
+        # is the path the router's gradient flows through.
+        selected = take_along(probs, order, axis=1).T
+        if self.normalize_gate and k > 1:
+            selected = selected / (selected.sum(axis=0, keepdims=True)
+                                   + 1e-12)
+        # Mark the selected routes live so the sparse kernels keep them;
+        # real values come from the `selected` tensor at combine time.
+        crit.gates = np.where(crit.valid, 1.0, 0.0)
+
+        dispatched = moe_dispatch(x, crit)
+        hidden = batched_expert_ffn_input(dispatched, self.w1)
+        hidden = gelu(hidden) if self.activation == "gelu" else relu(hidden)
+        expert_out = batched_expert_ffn_input(hidden, self.w2)
+        output = moe_combine(expert_out, selected, crit)
+
+        # GShard auxiliary loss: E * sum_e mean_prob(e) * routed_frac(e).
+        counts = np.bincount(idxs[0], minlength=self.num_experts)
+        routed_frac = Tensor(counts / t)
+        l_aux = (probs.mean(axis=0) * routed_frac).sum() * self.num_experts
+        return output, l_aux

@@ -1,0 +1,90 @@
+"""Expert placement control via ``count_per_node`` (paper Figure 17).
+
+A single integer argument describes how global experts map onto GPUs:
+
+* ``count_per_node = x > 0`` — every GPU hosts ``x`` whole local
+  experts (Figure 17a: 2 GPUs, 2 experts each);
+* ``count_per_node = x < 0`` — every expert is split across ``-x``
+  GPUs, each holding ``1/(-x)`` of the expert (Figure 17b: 8 GPUs,
+  4 experts, 2 shards each).
+
+``count_per_node`` only changes throughput characteristics, never the
+training algorithm: the same global experts exist either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ExpertPlacement",
+    "build_placement",
+]
+
+
+@dataclass(frozen=True)
+class ExpertPlacement:
+    """Resolved expert-to-GPU mapping.
+
+    Attributes
+    ----------
+    num_gpus / num_global_experts:
+        World and expert counts.
+    experts_per_gpu:
+        ``dE`` (fractional when experts are sharded).
+    shards_per_expert:
+        How many GPUs each expert is split over (1 = whole experts).
+    gpu_to_experts:
+        For each GPU, the list of ``(expert, shard)`` pairs it hosts.
+    """
+
+    num_gpus: int
+    num_global_experts: int
+    experts_per_gpu: float
+    shards_per_expert: int
+    gpu_to_experts: tuple[tuple[tuple[int, int], ...], ...]
+
+    def gpus_of_expert(self, expert: int) -> list[int]:
+        """All GPUs hosting (a shard of) ``expert``."""
+        if not 0 <= expert < self.num_global_experts:
+            raise ValueError(
+                f"expert {expert} out of range "
+                f"[0, {self.num_global_experts})")
+        return [g for g, hosted in enumerate(self.gpu_to_experts)
+                if any(e == expert for e, _ in hosted)]
+
+
+def build_placement(num_gpus: int, count_per_node: int) -> ExpertPlacement:
+    """Resolve a ``count_per_node`` argument into an explicit placement.
+
+    Raises for ``count_per_node == 0`` and for shard counts that do not
+    divide the world size.
+    """
+    if num_gpus < 1:
+        raise ValueError(f"num_gpus must be >= 1, got {num_gpus}")
+    if count_per_node == 0:
+        raise ValueError("count_per_node must be a non-zero integer")
+
+    if count_per_node > 0:
+        x = count_per_node
+        num_experts = num_gpus * x
+        gpu_to_experts = tuple(
+            tuple((g * x + j, 0) for j in range(x))
+            for g in range(num_gpus))
+        return ExpertPlacement(
+            num_gpus=num_gpus, num_global_experts=num_experts,
+            experts_per_gpu=float(x), shards_per_expert=1,
+            gpu_to_experts=gpu_to_experts)
+
+    shards = -count_per_node
+    if num_gpus % shards != 0:
+        raise ValueError(
+            f"count_per_node={count_per_node}: world size {num_gpus} is "
+            f"not divisible by the shard count {shards}")
+    num_experts = num_gpus // shards
+    gpu_to_experts = tuple(
+        ((g // shards, g % shards),) for g in range(num_gpus))
+    return ExpertPlacement(
+        num_gpus=num_gpus, num_global_experts=num_experts,
+        experts_per_gpu=1.0 / shards, shards_per_expert=shards,
+        gpu_to_experts=gpu_to_experts)

@@ -1,0 +1,96 @@
+"""Inline parallelism router (paper Section 3.2, Figure 13).
+
+P1 and P2 are constructed to have the *same* token feeding, gradient
+updating and parameter placement, hence switching between them costs
+nothing.  The router therefore only has to compare their communication
+volumes — an O(1) closed-form decision per iteration:
+
+* P1 moves ``dE*C*M`` activation bytes plus one expert's parameters;
+* P2 moves ``r * dE*C*M`` activation bytes and no parameters.
+
+Since activation volume scales with ``k * f`` and parameter volume is
+constant, P2 wins at small capacity factors and P1 at large ones —
+exactly the preference flip of paper Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.config import MoEConfig
+from repro.parallel.strategy import (
+    Parallelism,
+    StrategyCost,
+    replication_factor,
+    strategy_cost,
+)
+
+__all__ = [
+    "RouterDecision",
+    "InlineParallelismRouter",
+]
+
+
+@dataclass(frozen=True)
+class RouterDecision:
+    """One routing decision with the evaluated alternatives."""
+
+    chosen: Parallelism
+    costs: dict[Parallelism, StrategyCost]
+
+    @property
+    def chosen_cost(self) -> StrategyCost:
+        return self.costs[self.chosen]
+
+    def improvement_over(self, strategy: Parallelism) -> float:
+        """Fractional time saved versus statically using ``strategy``."""
+        static = self.costs[strategy].total_time
+        chosen = self.chosen_cost.total_time
+        return (static - chosen) / static if static > 0 else 0.0
+
+
+@dataclass
+class InlineParallelismRouter:
+    """Chooses P1 or P2 each iteration from the live (k, f) values.
+
+    The router is stateless across iterations apart from a decision
+    history kept for diagnostics; the state machine of Figure 13 is
+    realized by the fact that with ``r == 1`` both strategies collapse
+    to plain expert parallelism (EP).
+    """
+
+    topo: ClusterTopology
+    training: bool = True
+    history: list[RouterDecision] = field(default_factory=list)
+
+    def decide(self, cfg: MoEConfig) -> RouterDecision:
+        """Evaluate both strategies for this iteration's configuration."""
+        r = replication_factor(cfg)
+        if r == 1:
+            cost = strategy_cost(cfg, self.topo, Parallelism.EP,
+                                 self.training)
+            decision = RouterDecision(chosen=Parallelism.EP,
+                                      costs={Parallelism.EP: cost})
+        else:
+            costs = {
+                s: strategy_cost(cfg, self.topo, s, self.training)
+                for s in (Parallelism.P1_EP_DP, Parallelism.P2_EP_MP)
+            }
+            chosen = min(costs, key=lambda s: costs[s].total_time)
+            decision = RouterDecision(chosen=chosen, costs=costs)
+        self.history.append(decision)
+        return decision
+
+    def decide_for(self, cfg: MoEConfig, capacity_factor: float,
+                   top_k: int | None = None) -> RouterDecision:
+        """Convenience: decision for a dynamically adjusted (f, k)."""
+        overrides: dict = {"capacity_factor": capacity_factor}
+        if top_k is not None:
+            overrides["top_k"] = top_k
+        return self.decide(cfg.with_(**overrides))
+
+    def switch_count(self) -> int:
+        """How many times the chosen strategy changed in the history."""
+        chosen = [d.chosen for d in self.history]
+        return sum(1 for a, b in zip(chosen, chosen[1:]) if a != b)

@@ -1,0 +1,194 @@
+"""Switchable parallelism strategies P1 and P2 (paper Section 3.2).
+
+When experts are fewer than GPUs, each expert is served by
+``r = W / E`` GPUs.  Two hybrid strategies cover that regime:
+
+* **P1 — switchable expert + data parallelism** (Figure 11): a single
+  fused global All-to-All delivers tokens; each GPU stores a ZeRO-style
+  ``1/r`` slice of its expert's parameters and temporarily all-gathers
+  the full expert before computing on its ``C/r`` share of tokens.
+  Training adds a reduce-scatter of expert gradients.
+  ``T_data = O(dE*C*M) + O(params_in_single_expert)``.
+
+* **P2 — switchable expert + model parallelism** (Figure 12): each
+  expert's fflayer is column-sharded over ``r`` GPUs; tokens are
+  locally repeated ``r`` times before dispatch so every shard sees all
+  ``C`` tokens, and combine adds a local sum-reduction of partials.
+  ``T_model = O(r * dE * C * M)`` with no parameter communication.
+
+Both strategies keep identical token feeding, gradient updating and
+parameter placement, so they can switch *instantly* at every iteration
+— which is why the router below only compares communication costs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cluster.gemm import GemmModel, expert_ffn_time
+from repro.cluster.topology import ClusterTopology
+from repro.collectives.schedule import (
+    A2AAlgorithm,
+    a2a_time,
+    all_gather_time,
+    best_a2a_algorithm,
+    reduce_scatter_time,
+)
+from repro.core.config import MoEConfig
+
+__all__ = [
+    "Parallelism",
+    "StrategyCost",
+    "replication_factor",
+    "p1_communication_bytes",
+    "p2_communication_bytes",
+    "p1_param_comm_time",
+    "strategy_cost",
+]
+
+
+class Parallelism(enum.Enum):
+    """The parallelism state machine states of Figure 13."""
+
+    EP = "ep"            # pure expert parallelism (r == 1 special case)
+    P1_EP_DP = "p1"      # expert + data parallelism (ZeRO-sliced)
+    P2_EP_MP = "p2"      # expert + model parallelism (n-sharded)
+
+
+def replication_factor(cfg: MoEConfig) -> int:
+    """``r = W / E`` — GPUs serving each expert (1 when E >= W)."""
+    w, e = cfg.world_size, cfg.num_global_experts
+    if e >= w:
+        return 1
+    if w % e != 0:
+        raise ValueError(
+            f"world size {w} must be a multiple of expert count {e} "
+            "for the switchable strategies")
+    return w // e
+
+
+@dataclass(frozen=True)
+class StrategyCost:
+    """Cost breakdown of one strategy for one iteration."""
+
+    strategy: Parallelism
+    a2a_bytes: int              # per-GPU bytes per All-to-All leg
+    param_bytes: int            # per-GPU parameter-traffic bytes
+    comm_time: float            # total communication seconds
+    compute_time: float         # expert fflayer seconds
+    a2a_algorithm: A2AAlgorithm
+
+    @property
+    def total_time(self) -> float:
+        return self.comm_time + self.compute_time
+
+
+def p1_communication_bytes(cfg: MoEConfig) -> tuple[int, int]:
+    """(A2A bytes per leg, parameter bytes) of P1 for one forward.
+
+    The fused global All-to-All moves the plain dispatch buffer; the
+    ZeRO access pattern all-gathers the missing ``(r-1)/r`` of one
+    expert's parameters within the replica group.
+    """
+    r = replication_factor(cfg)
+    a2a = cfg.dispatch_bytes_per_gpu
+    params = 0
+    if r > 1:
+        params = int(cfg.expert_parameter_bytes * (r - 1) / r)
+    return a2a, params
+
+
+def p2_communication_bytes(cfg: MoEConfig) -> tuple[int, int]:
+    """(A2A bytes per leg, parameter bytes) of P2 for one forward.
+
+    Tokens are repeated ``r`` times by the local repeat operation, so
+    each All-to-All leg carries ``r`` times the dispatch buffer; no
+    parameter traffic is needed.
+    """
+    r = replication_factor(cfg)
+    return r * cfg.dispatch_bytes_per_gpu, 0
+
+
+def p1_param_comm_time(cfg: MoEConfig, topo: ClusterTopology,
+                       training: bool = True) -> float:
+    """Per-iteration parameter traffic of P1's ZeRO-style access.
+
+    The full expert is all-gathered for the forward pass and again for
+    the backward pass (ZeRO-3 semantics), gradients are reduce-scattered
+    in fp32 (twice the activation dtype width), and the gathered weights
+    must be materialized into a contiguous buffer each time — a blocking
+    cost that cannot overlap with the MoE layer's own All-to-Alls.
+    This is the term that makes P2 preferable when expert parameters
+    outweigh the token volume (paper Figure 3 / Table 5b).
+    """
+    from repro.cluster.linkmodel import contiguous_memcpy_time
+    r = replication_factor(cfg)
+    if r == 1:
+        return 0.0
+    param_bytes = cfg.expert_parameter_bytes
+    shard = param_bytes / r
+    passes = 2 if training else 1
+    total = passes * all_gather_time(topo, shard, group_size=r)
+    total += passes * contiguous_memcpy_time(topo.gpu, param_bytes)
+    if training:
+        fp32_grads = param_bytes * (4 / max(cfg.dtype_bytes, 1))
+        total += reduce_scatter_time(topo, fp32_grads, group_size=r)
+    return total
+
+
+def strategy_cost(cfg: MoEConfig, topo: ClusterTopology,
+                  strategy: Parallelism,
+                  training: bool = True,
+                  gemm: GemmModel | None = None,
+                  a2a_algorithm: A2AAlgorithm | None = None) -> StrategyCost:
+    """Full per-iteration cost of running the MoE layer under a strategy.
+
+    Communication counts two All-to-All legs (dispatch + combine) for a
+    forward pass, doubled for training (backward re-runs both), plus the
+    strategy's parameter traffic (all-gather, and reduce-scatter of
+    gradients when training).  Compute uses the layout-aware GEMM model;
+    the per-GPU FLOPs of P1 and P2 are identical by construction, but
+    row counts (hence efficiency) differ slightly.
+    """
+    r = replication_factor(cfg)
+    if strategy is Parallelism.EP and r != 1:
+        raise ValueError("EP state requires r == 1 (E >= W)")
+    if strategy in (Parallelism.P1_EP_DP, Parallelism.P2_EP_MP) and r < 1:
+        raise ValueError("P1/P2 require at least one GPU per expert")
+
+    if strategy is Parallelism.P2_EP_MP:
+        a2a_bytes, param_bytes = p2_communication_bytes(cfg)
+    elif strategy is Parallelism.P1_EP_DP:
+        a2a_bytes, param_bytes = p1_communication_bytes(cfg)
+    else:
+        a2a_bytes, param_bytes = cfg.dispatch_bytes_per_gpu, 0
+
+    if a2a_algorithm is None:
+        algo, one_leg = best_a2a_algorithm(topo, a2a_bytes)
+    else:
+        algo = a2a_algorithm
+        one_leg = a2a_time(topo, a2a_bytes, algo)
+    legs = 4 if training else 2
+    comm = legs * one_leg
+
+    if param_bytes:
+        comm += p1_param_comm_time(cfg, topo, training)
+
+    local_experts = max(1, round(cfg.experts_per_gpu))
+    c_total = cfg.global_capacity
+    if strategy is Parallelism.P2_EP_MP:
+        rows = c_total
+        hidden = max(1, cfg.hidden_dim // r)
+        compute = expert_ffn_time(topo.gpu, local_experts, rows,
+                                  cfg.model_dim, hidden, gemm,
+                                  backward=training)
+    else:
+        rows = max(1, c_total // r)
+        compute = expert_ffn_time(topo.gpu, local_experts, rows,
+                                  cfg.model_dim, cfg.hidden_dim, gemm,
+                                  backward=training)
+
+    return StrategyCost(strategy=strategy, a2a_bytes=a2a_bytes,
+                        param_bytes=param_bytes, comm_time=comm,
+                        compute_time=compute, a2a_algorithm=algo)

@@ -1,0 +1,169 @@
+"""Online pipelining strategy search (paper Algorithm 2).
+
+The capacity factor ``f`` observed at runtime varies over a large
+floating-point domain (Figure 1), so trying every strategy at every
+distinct ``f`` would never converge.  The algorithm exploits one
+intuition: *close* capacity factors have similar workload shapes and
+share an optimal strategy.  Known ``f`` values are grouped into buckets
+of numeric width ``L``; measurements are shared bucket-wide (normalized
+by the lowest ``f`` in the bucket, since the segment time is roughly
+proportional to the workload), and each bucket explores every strategy
+exactly once before settling on its best.
+
+Complexities match the paper: O(1) for a known ``f`` (hash lookup),
+O(log M) to place a new ``f`` among M buckets, O(N log N) worst case
+when buckets are rebuilt over N known factors.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.pipeline.schedule import PipelineStrategy, all_strategies
+
+__all__ = [
+    "Bucket",
+    "OnlinePipeliningSearch",
+]
+
+
+@dataclass
+class Bucket:
+    """A contiguous range of capacity factors sharing strategy data."""
+
+    low: float
+    length: float
+    members: list[float] = field(default_factory=list)
+    tried: dict[PipelineStrategy, float] = field(default_factory=dict)
+
+    def contains(self, f: float) -> bool:
+        return self.low <= f < self.low + self.length
+
+    def record(self, strategy: PipelineStrategy, f: float,
+               elapsed: float) -> None:
+        """Store a measurement normalized to the bucket's lowest f.
+
+        Segment time grows roughly linearly with workload, so dividing
+        by ``f / low`` makes measurements at different factors
+        comparable within the bucket.
+        """
+        normalized = elapsed * (self.low / f) if f > 0 else elapsed
+        best = self.tried.get(strategy)
+        if best is None or normalized < best:
+            self.tried[strategy] = normalized
+
+    def best_strategy(self) -> PipelineStrategy:
+        if not self.tried:
+            raise ValueError("bucket has no measurements yet")
+        return min(self.tried, key=self.tried.__getitem__)
+
+
+@dataclass
+class OnlinePipeliningSearch:
+    """The GETSTRATEGY / OPTIMIZESTRATEGY pair of Algorithm 2."""
+
+    bucket_length: float = 1.0
+    strategies: list[PipelineStrategy] = field(
+        default_factory=all_strategies)
+    per_factor: dict[float, dict[PipelineStrategy, float]] = field(
+        default_factory=dict)
+    buckets: list[Bucket] = field(default_factory=list)
+    known_factors: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.bucket_length <= 0:
+            raise ValueError(
+                f"bucket_length must be > 0, got {self.bucket_length}")
+        if not self.strategies:
+            raise ValueError("strategy space must be non-empty")
+
+    # -- bucket maintenance (RECOMPUTEBUCKETS) -------------------------
+
+    def _rebuild_buckets(self) -> None:
+        """Greedy re-bucketing over the sorted known factors.
+
+        A bucket starts at its lowest member and absorbs factors until
+        one falls outside ``[low, low + L)``; measurements are rebuilt
+        from the per-factor memos of the members.
+        """
+        self.buckets = []
+        current: Bucket | None = None
+        for f in self.known_factors:
+            if current is None or not current.contains(f):
+                current = Bucket(low=f, length=self.bucket_length)
+                self.buckets.append(current)
+            current.members.append(f)
+            for strategy, elapsed in self.per_factor.get(f, {}).items():
+                current.record(strategy, f, elapsed)
+
+    def _bucket_of(self, f: float) -> Bucket:
+        """Binary search for the bucket containing ``f``."""
+        lows = [b.low for b in self.buckets]
+        idx = bisect.bisect_right(lows, f) - 1
+        if idx < 0 or not self.buckets[idx].contains(f):
+            raise KeyError(f"capacity factor {f} not in any bucket")
+        return self.buckets[idx]
+
+    def _ensure_known(self, f: float) -> None:
+        if f in self.per_factor:
+            return
+        self.per_factor[f] = {}
+        bisect.insort(self.known_factors, f)
+        self._rebuild_buckets()
+
+    # -- Algorithm 2 procedures ----------------------------------------
+
+    def get_strategy(self, capacity_factor: float) -> PipelineStrategy:
+        """GETSTRATEGY: best known, else an untried bucket strategy."""
+        if capacity_factor <= 0:
+            raise ValueError(
+                f"capacity_factor must be > 0, got {capacity_factor}")
+        f = float(capacity_factor)
+        self._ensure_known(f)
+        tried_here = self.per_factor[f]
+        if len(tried_here) == len(self.strategies):
+            return min(tried_here, key=tried_here.__getitem__)
+        bucket = self._bucket_of(f)
+        for strategy in self.strategies:
+            if strategy not in bucket.tried:
+                return strategy
+        return bucket.best_strategy()
+
+    def optimize_strategy(self, capacity_factor: float,
+                          strategy: PipelineStrategy,
+                          measured_time: float) -> None:
+        """OPTIMIZESTRATEGY: fold a measurement into both memo levels."""
+        if measured_time < 0:
+            raise ValueError(
+                f"measured_time must be >= 0, got {measured_time}")
+        f = float(capacity_factor)
+        self._ensure_known(f)
+        memo = self.per_factor[f]
+        if strategy not in memo or measured_time < memo[strategy]:
+            memo[strategy] = measured_time
+        self._bucket_of(f).record(strategy, f, measured_time)
+
+    def step(self, capacity_factor: float,
+             measure: Callable[[PipelineStrategy], float]
+             ) -> tuple[PipelineStrategy, float]:
+        """MOESTEPANDOPTIMIZESTRATEGY: pick, run, learn.
+
+        ``measure`` runs the MoE segment under the given strategy and
+        returns its elapsed time (in the reproduction, a simulator
+        call; on hardware, a CUDA-event timing).
+        """
+        strategy = self.get_strategy(capacity_factor)
+        elapsed = measure(strategy)
+        self.optimize_strategy(capacity_factor, strategy, elapsed)
+        return strategy, elapsed
+
+    # -- diagnostics -----------------------------------------------------
+
+    def exploration_remaining(self, capacity_factor: float) -> int:
+        """Strategies the factor's bucket has not yet tried."""
+        f = float(capacity_factor)
+        self._ensure_known(f)
+        bucket = self._bucket_of(f)
+        return len(self.strategies) - len(bucket.tried)

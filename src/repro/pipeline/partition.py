@@ -1,0 +1,60 @@
+"""Token partitioning for multi-stream pipelining (paper Figure 14).
+
+Only the two All-to-Alls and the expert in between are partitioned —
+not the whole MoE layer — so that capacity-dependent ML features
+(e.g. batch prioritized routing) stay correct: the routing decision is
+made once on the full batch, then the *capacity* dimension of the
+dispatch buffer is sliced into virtual partitions ``C_0 .. C_{d-1}``
+that flow through All-to-All -> expert -> All-to-All independently.
+
+Because the split is along the capacity dimension of the already
+encoded ``(E, dC, M)`` buffer, merging the partition outputs is exact:
+the functional test asserts pipelined == unpipelined output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "valid_degrees",
+    "partition_capacity",
+    "merge_partitions",
+]
+
+VALID_DEGREES = (1, 2, 4, 8)
+
+
+def valid_degrees(capacity: int) -> tuple[int, ...]:
+    """Pipelining degrees usable for a given capacity ``dC``.
+
+    A degree must divide the capacity so that every virtual partition
+    carries the same number of slots.
+    """
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    return tuple(d for d in VALID_DEGREES if capacity % d == 0)
+
+
+def partition_capacity(dispatched: np.ndarray,
+                       degree: int) -> list[np.ndarray]:
+    """Split an ``(E, dC, M)`` dispatch buffer into ``degree`` virtual
+    partitions ``(E, dC/degree, M)`` along the capacity dimension."""
+    if dispatched.ndim != 3:
+        raise ValueError(
+            f"dispatched must be (E, dC, M), got {dispatched.shape}")
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1, got {degree}")
+    if dispatched.shape[1] % degree != 0:
+        raise ValueError(
+            f"capacity {dispatched.shape[1]} not divisible by degree "
+            f"{degree}")
+    return [np.ascontiguousarray(part)
+            for part in np.split(dispatched, degree, axis=1)]
+
+
+def merge_partitions(parts: list[np.ndarray]) -> np.ndarray:
+    """Inverse of :func:`partition_capacity` (the post-barrier merge)."""
+    if not parts:
+        raise ValueError("parts must be non-empty")
+    return np.concatenate(parts, axis=1)

@@ -1,0 +1,174 @@
+"""Multi-stream pipeline schedules for the MoE inner segment.
+
+Builds the event-simulator schedule for the segment that adaptive
+pipelining overlaps: dispatch All-to-All -> expert fflayer -> combine
+All-to-All, chunked into ``degree`` virtual capacity partitions
+(Figure 14).  Communication chunks run on the representative GPU's
+communication stream and experts on its computation stream; the
+simulator's interference model applies the concurrent-kernel slowdown
+that makes the jointly optimal (algorithm, degree) pair workload
+dependent (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.gemm import GemmModel, expert_ffn_time
+from repro.cluster.simulator import InterferenceModel, Op, Schedule, simulate
+from repro.cluster.topology import ClusterTopology
+from repro.collectives.schedule import A2AAlgorithm, Impl, Protocol, a2a_time
+from repro.core.config import MoEConfig
+from repro.pipeline.partition import VALID_DEGREES
+
+__all__ = [
+    "PipelineStrategy",
+    "SegmentSpec",
+    "all_strategies",
+    "build_segment_schedule",
+    "segment_time",
+    "build_pipeline_schedule",
+    "pipeline_segment_time",
+]
+
+
+@dataclass(frozen=True)
+class PipelineStrategy:
+    """One point of the adaptive-pipelining search space.
+
+    The space matches the paper's evaluation: pipelining degrees
+    {1, 2, 4, 8} crossed with the Linear and 2DH All-to-All algorithms.
+    """
+
+    degree: int = 1
+    algorithm: A2AAlgorithm = A2AAlgorithm.LINEAR
+    protocol: Protocol = Protocol.SIMPLE
+    impl: Impl = Impl.NCCL
+
+    def __post_init__(self) -> None:
+        if self.degree not in VALID_DEGREES:
+            raise ValueError(
+                f"degree must be one of {VALID_DEGREES}, got {self.degree}")
+
+    def describe(self) -> str:
+        return f"{self.algorithm.value}/deg{self.degree}"
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """Shape of the dispatch-expert-combine segment on one GPU.
+
+    Decouples the pipeline builder from :class:`MoEConfig` so the
+    runtime can feed parallelism-adjusted shapes (e.g. P2 repeats the
+    All-to-All payload ``r`` times and shards the hidden dimension).
+    """
+
+    a2a_bytes: float          # per-GPU All-to-All payload per leg
+    expert_batch: int         # independent expert problems per GPU
+    expert_rows: int          # token rows per expert problem
+    model_dim: int
+    hidden_dim: int
+
+    def __post_init__(self) -> None:
+        if self.a2a_bytes < 0:
+            raise ValueError(f"a2a_bytes must be >= 0, got {self.a2a_bytes}")
+        if min(self.expert_batch, self.expert_rows, self.model_dim,
+               self.hidden_dim) < 1:
+            raise ValueError("segment dimensions must be >= 1")
+
+    @staticmethod
+    def from_config(cfg: MoEConfig) -> "SegmentSpec":
+        """Flexible-layout segment of a plain EP configuration."""
+        return SegmentSpec(
+            a2a_bytes=cfg.dispatch_bytes_per_gpu,
+            expert_batch=max(1, round(cfg.experts_per_gpu)),
+            expert_rows=cfg.global_capacity,
+            model_dim=cfg.model_dim,
+            hidden_dim=cfg.hidden_dim)
+
+
+def all_strategies(
+        degrees: tuple[int, ...] = VALID_DEGREES,
+        algorithms: tuple[A2AAlgorithm, ...] = (A2AAlgorithm.LINEAR,
+                                                A2AAlgorithm.TWO_DH),
+) -> list[PipelineStrategy]:
+    """The full static strategy grid (8 entries by default)."""
+    return [PipelineStrategy(degree=d, algorithm=a)
+            for a in algorithms for d in degrees]
+
+
+def _comm_kind(algorithm: A2AAlgorithm) -> str:
+    """2DH launches SM-occupying stride-copy kernels; plain P2P does
+    not — they interfere with compute differently."""
+    return ("comm_memcpy" if algorithm is A2AAlgorithm.TWO_DH
+            else "comm")
+
+
+def build_segment_schedule(spec: SegmentSpec, topo: ClusterTopology,
+                           strategy: PipelineStrategy,
+                           training: bool = False,
+                           gemm: GemmModel | None = None) -> Schedule:
+    """Op DAG of the pipelined dispatch-expert-combine segment.
+
+    One representative GPU is modelled (symmetric collective work).
+    Chunk ``i`` contributes three ops — dispatch A2A, expert compute,
+    combine A2A — with chained dependencies; same-stream ops serialize
+    FIFO, which realizes exactly the overlap pattern of Figure 14.
+    """
+    degree = strategy.degree
+    chunk_bytes = spec.a2a_bytes / degree
+    a2a_chunk = a2a_time(topo, chunk_bytes, strategy.algorithm,
+                         strategy.protocol, strategy.impl)
+    rows_chunk = max(1, spec.expert_rows // degree)
+    expert_chunk = expert_ffn_time(topo.gpu, spec.expert_batch, rows_chunk,
+                                   spec.model_dim, spec.hidden_dim, gemm,
+                                   backward=training)
+    kind = _comm_kind(strategy.algorithm)
+
+    schedule = Schedule()
+    # Comm-stream FIFO order is [d0 .. d_{n-1}, c0 .. c_{n-1}]: all
+    # dispatch chunks are enqueued ahead of any combine so a pending
+    # combine never blocks the next dispatch (Figure 14's schedule).
+    dispatches = [schedule.new_op(
+        work=a2a_chunk, gpu=0, stream="comm", kind=kind,
+        label=f"a2a_dispatch[{i}]") for i in range(degree)]
+    experts = [schedule.new_op(
+        work=expert_chunk, gpu=0, stream="compute", kind="compute",
+        deps=(dispatches[i],), label=f"expert[{i}]")
+        for i in range(degree)]
+    combines = [schedule.new_op(
+        work=a2a_chunk, gpu=0, stream="comm", kind=kind,
+        deps=(experts[i],), label=f"a2a_combine[{i}]")
+        for i in range(degree)]
+    schedule.new_op(work=0.0, gpu=0, stream="compute", kind="host",
+                    deps=tuple(combines), label="barrier")
+    return schedule
+
+
+def segment_time(spec: SegmentSpec, topo: ClusterTopology,
+                 strategy: PipelineStrategy, training: bool = False,
+                 gemm: GemmModel | None = None,
+                 interference: InterferenceModel | None = None) -> float:
+    """Makespan of the pipelined segment under a strategy."""
+    schedule = build_segment_schedule(spec, topo, strategy, training, gemm)
+    return simulate(schedule, interference).makespan
+
+
+def build_pipeline_schedule(cfg: MoEConfig, topo: ClusterTopology,
+                            strategy: PipelineStrategy,
+                            training: bool = False,
+                            gemm: GemmModel | None = None) -> Schedule:
+    """Convenience wrapper building from a plain :class:`MoEConfig`."""
+    return build_segment_schedule(SegmentSpec.from_config(cfg), topo,
+                                  strategy, training, gemm)
+
+
+def pipeline_segment_time(cfg: MoEConfig, topo: ClusterTopology,
+                          strategy: PipelineStrategy,
+                          training: bool = False,
+                          gemm: GemmModel | None = None,
+                          interference: InterferenceModel | None = None
+                          ) -> float:
+    """Makespan of the segment for a plain :class:`MoEConfig`."""
+    return segment_time(SegmentSpec.from_config(cfg), topo, strategy,
+                        training, gemm, interference)

@@ -1,0 +1,35 @@
+"""Runtime planning: feature toggles -> MoE layer step times."""
+
+from repro.runtime.kernels import (
+    dense_decode_time,
+    dense_encode_time,
+    encode_decode_time,
+    gating_time,
+    sparse_decode_time,
+    sparse_encode_time,
+)
+from repro.runtime.plan import (
+    FAIRSEQ_FEATURES,
+    TUTEL_FEATURES,
+    ExecutionFeatures,
+    MoEStepBreakdown,
+    build_segment_spec,
+    choose_parallelism,
+    moe_step_time,
+)
+
+__all__ = [
+    "dense_decode_time",
+    "dense_encode_time",
+    "encode_decode_time",
+    "gating_time",
+    "sparse_decode_time",
+    "sparse_encode_time",
+    "FAIRSEQ_FEATURES",
+    "TUTEL_FEATURES",
+    "ExecutionFeatures",
+    "MoEStepBreakdown",
+    "build_segment_spec",
+    "choose_parallelism",
+    "moe_step_time",
+]

@@ -1,0 +1,125 @@
+"""Training / evaluation loops for the accuracy experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from typing import Callable
+
+from repro.autograd.functional import cross_entropy
+from repro.autograd.optim import Adam, clip_grad_norm
+from repro.autograd.tensor import Tensor
+from repro.nn.models import MoEClassifier
+from repro.nn.modules import Module
+from repro.train.data import TokenBatch
+from repro.train.schedules import apply_sparsity_schedules
+
+__all__ = [
+    "TrainResult",
+    "train_model",
+    "evaluate",
+    "linear_probe_accuracy",
+]
+
+
+@dataclass
+class TrainResult:
+    """Training history plus final evaluation metrics."""
+
+    losses: list[float] = field(default_factory=list)
+    train_accuracies: list[float] = field(default_factory=list)
+    eval_accuracy: float = 0.0
+    final_train_loss: float = 0.0
+    # Per-step needed capacity factor of every MoE layer (Figure 1).
+    capacity_traces: dict[int, list[float]] = field(default_factory=dict)
+
+
+def _accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    return float((logits.argmax(axis=1) == labels).mean())
+
+
+def evaluate(model: Module, batch: TokenBatch) -> float:
+    """Top-1 accuracy on a batch (no gradient bookkeeping needed)."""
+    logits, _ = model(Tensor(batch.x))
+    return _accuracy(logits.data, batch.y)
+
+
+def train_model(model: Module, train: TokenBatch, test: TokenBatch,
+                steps: int = 300, batch_size: int = 256,
+                lr: float = 3e-3, aux_weight: float = 0.01,
+                weight_decay: float = 1e-4, grad_clip: float = 5.0,
+                seed: int = 0,
+                top_k_schedule: Callable[[int], float] | None = None,
+                capacity_schedule: Callable[[int], float] | None = None
+                ) -> TrainResult:
+    """Train with Adam on cross-entropy + auxiliary load-balance loss.
+
+    Records the runtime needed-capacity-factor trace of every MoE layer
+    so the Figure 1 dynamic-workload plot comes from a *real* training
+    run of the toy model.  ``top_k_schedule`` / ``capacity_schedule``
+    realize the dynamic-sparsity feature of paper Section 4.1: the
+    per-iteration ``k`` and ``f`` of every MoE layer follow the given
+    schedules (see :mod:`repro.train.schedules`).
+    """
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    rng = np.random.default_rng(seed)
+    params = [p for p in model.parameters() if p.requires_grad]
+    if not params:
+        raise ValueError("model has no trainable parameters")
+    optimizer = Adam(params, lr=lr, weight_decay=weight_decay)
+    result = TrainResult()
+    moe_layers = (model.moe_layers()
+                  if isinstance(model, MoEClassifier) else [])
+    for i in range(len(moe_layers)):
+        result.capacity_traces[i] = []
+
+    n = len(train)
+    for step in range(steps):
+        if top_k_schedule is not None or capacity_schedule is not None:
+            apply_sparsity_schedules(model, step,
+                                     top_k=top_k_schedule,
+                                     capacity_factor=capacity_schedule)
+        idx = rng.integers(0, n, min(batch_size, n))
+        xb, yb = train.x[idx], train.y[idx]
+        logits, l_aux = model(Tensor(xb))
+        loss = cross_entropy(logits, yb) + l_aux * aux_weight
+        optimizer.zero_grad()
+        loss.backward()
+        clip_grad_norm(params, grad_clip)
+        optimizer.step()
+
+        result.losses.append(float(loss.data))
+        result.train_accuracies.append(_accuracy(logits.data, yb))
+        for i, layer in enumerate(moe_layers):
+            if layer.last_needed_capacity_factor is not None:
+                result.capacity_traces[i].append(
+                    layer.last_needed_capacity_factor)
+
+    result.final_train_loss = float(np.mean(result.losses[-20:]))
+    result.eval_accuracy = evaluate(model, test)
+    return result
+
+
+def linear_probe_accuracy(model: Module, probe_train: TokenBatch,
+                          probe_test: TokenBatch,
+                          l2: float = 1e-2) -> float:
+    """Few-shot linear evaluation on frozen features.
+
+    Fits a ridge-regression one-vs-all classifier on the penultimate
+    features (closed form — no iterative training needed for a probe)
+    and reports top-1 accuracy, mirroring the paper's 5-shot protocol.
+    """
+    feats_train = model.features(Tensor(probe_train.x)).data
+    feats_test = model.features(Tensor(probe_test.x)).data
+    classes = int(max(probe_train.y.max(), probe_test.y.max())) + 1
+    targets = -np.ones((len(probe_train), classes))
+    targets[np.arange(len(probe_train)), probe_train.y] = 1.0
+
+    d = feats_train.shape[1]
+    gram = feats_train.T @ feats_train + l2 * np.eye(d)
+    weights = np.linalg.solve(gram, feats_train.T @ targets)
+    scores = feats_test @ weights
+    return _accuracy(scores, probe_test.y)

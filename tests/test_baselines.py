@@ -1,0 +1,92 @@
+"""Tests for the Fairseq / DeepSpeed baseline profiles."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.deepspeed_moe import (
+    deepspeed_features,
+    deepspeed_fflayer_time,
+)
+from repro.baselines.fairseq_moe import fairseq_memory, fairseq_moe_forward
+from repro.cluster.topology import ndv4_topology
+from repro.collectives.schedule import A2AAlgorithm
+from repro.core.config import MoEConfig
+from repro.moe.layer import MoELayerParams, moe_layer_forward
+from repro.runtime.plan import FAIRSEQ_FEATURES
+
+
+@pytest.fixture
+def params():
+    return MoELayerParams.init(num_experts=4, model_dim=8,
+                               hidden_dim=16,
+                               rng=np.random.default_rng(0))
+
+
+class TestFairseqForward:
+    def test_matches_tutel_numerics(self, params):
+        # Same computation logic as GShard: dense and fast paths must
+        # produce the same outputs.
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(32, 8))
+        fair = fairseq_moe_forward(x, params, capacity_factor=2.0)
+        from repro.moe.capacity import CapacityPolicy
+        tutel = moe_layer_forward(x, params,
+                                  capacity=CapacityPolicy(2.0))
+        np.testing.assert_allclose(fair.output, tutel.output, atol=1e-10)
+
+    def test_rejects_adaptive_capacity(self, params):
+        x = np.zeros((4, 8))
+        with pytest.raises(ValueError):
+            fairseq_moe_forward(x, params, capacity_factor=0.0)
+
+    def test_no_bpr(self, params):
+        # The baseline never reorders tokens; first-come-first-served.
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(64, 8))
+        out = fairseq_moe_forward(x, params, capacity_factor=0.25)
+        assert out.crit is not None
+
+
+class TestFairseqProfile:
+    def test_features_all_off(self):
+        f = FAIRSEQ_FEATURES
+        assert not f.fast_kernels
+        assert not f.flexible_a2a
+        assert not f.adaptive_pipelining
+        assert not f.adaptive_parallelism
+        assert f.pipeline_strategy.degree == 1
+        assert f.pipeline_strategy.algorithm is A2AAlgorithm.LINEAR
+
+    def test_memory_is_dense(self):
+        cfg = MoEConfig(world_size=1, experts_per_gpu=2, model_dim=512,
+                        hidden_dim=512, tokens_per_gpu=2048, top_k=2)
+        breakdown = fairseq_memory(cfg)
+        assert any("T,E,dC" in name for name in breakdown.tensors)
+
+
+class TestDeepSpeed:
+    def test_features_static(self):
+        f = deepspeed_features()
+        assert f.name == "deepspeed"
+        assert not f.adaptive_pipelining
+
+    def test_figure7_fflayer_regression(self):
+        # dE = 1, M = V = 2048, f = 1, 16384 tokens/step per GPU:
+        # the fflayer slows ~11.3x from 1 to 2,048 GPUs.
+        def cfg(w):
+            return MoEConfig(world_size=w, experts_per_gpu=1,
+                             model_dim=2048, hidden_dim=2048,
+                             tokens_per_gpu=16384, top_k=1,
+                             capacity_factor=1.0)
+        t1 = deepspeed_fflayer_time(cfg(1), ndv4_topology(1))
+        t2048 = deepspeed_fflayer_time(cfg(2048), ndv4_topology(2048))
+        assert 6 < t2048 / t1 < 20
+
+    def test_fflayer_monotone_in_world(self):
+        def cfg(w):
+            return MoEConfig(world_size=w, experts_per_gpu=1,
+                             model_dim=2048, hidden_dim=2048,
+                             tokens_per_gpu=16384, top_k=1)
+        times = [deepspeed_fflayer_time(cfg(w), ndv4_topology(w))
+                 for w in (1, 16, 256, 2048)]
+        assert times == sorted(times)

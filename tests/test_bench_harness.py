@@ -1,0 +1,43 @@
+"""Tests for the bench-harness helpers."""
+
+import pytest
+
+from repro.bench.harness import Table, format_speedup, geometric_mean
+
+
+class TestTable:
+    def test_render_contains_rows(self):
+        t = Table("Paper Table X", ["a", "b"])
+        t.add_row(1, "two")
+        text = t.render()
+        assert "Paper Table X" in text
+        assert "two" in text
+
+    def test_alignment(self):
+        t = Table("T", ["col", "x"])
+        t.add_row("longvalue", 1)
+        lines = t.render().splitlines()
+        assert lines[1].startswith("col")
+        assert "longvalue" in lines[3]
+
+    def test_rejects_wrong_arity(self):
+        t = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+
+class TestHelpers:
+    def test_format_speedup(self):
+        assert format_speedup(1.5) == "1.50x"
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([2, 2, 2]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

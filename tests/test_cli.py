@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import discover_benches, main, run_bench
+
+
+class TestDiscovery:
+    def test_all_paper_artifacts_present(self):
+        benches = discover_benches()
+        expected = {"fig01", "fig03", "fig05", "fig06", "fig07",
+                    "fig10", "fig20", "fig21", "fig22", "fig23",
+                    "fig24", "fig25", "tab01", "tab04", "tab05",
+                    "tab07", "tab08", "tab09", "tab10", "tab11",
+                    "tab12", "tab13"}
+        assert expected <= set(benches)
+
+    def test_ablations_distinct(self):
+        benches = discover_benches()
+        abl = {k for k in benches if k.startswith("abl")}
+        assert len(abl) >= 2  # online search + hierarchy
+
+    def test_paths_exist(self):
+        for path in discover_benches().values():
+            assert path.is_file()
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig20" in out
+        assert "bench_fig20_2dh_scaling.py" in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Tutel" in out
+        assert "2048 GPUs" in out
+
+    def test_bench_runs(self, capsys):
+        assert main(["bench", "fig06"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6a" in out
+
+    def test_unknown_bench_rejected(self):
+        with pytest.raises(SystemExit):
+            run_bench("fig99")
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

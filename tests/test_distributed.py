@@ -1,0 +1,97 @@
+"""Tests for the multi-rank functional MoE layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MoEConfig
+from repro.moe.capacity import CapacityPolicy
+from repro.moe.distributed import (
+    distributed_moe_forward,
+    shard_experts,
+)
+from repro.moe.layer import MoELayerParams, moe_layer_forward
+
+
+def build(world=4, experts_per_gpu=2, tokens=16, model_dim=8,
+          hidden=16, top_k=2, f=8.0, seed=0):
+    rng = np.random.default_rng(seed)
+    cfg = MoEConfig(world_size=world, experts_per_gpu=experts_per_gpu,
+                    model_dim=model_dim, hidden_dim=hidden,
+                    tokens_per_gpu=tokens, top_k=top_k,
+                    capacity_factor=f)
+    params = MoELayerParams.init(num_experts=cfg.num_global_experts,
+                                 model_dim=model_dim, hidden_dim=hidden,
+                                 rng=rng, top_k=top_k)
+    xs = [rng.normal(size=(tokens, model_dim)) for _ in range(world)]
+    return cfg, params, xs
+
+
+class TestShardExperts:
+    def test_slices_cover_all(self):
+        _, params, _ = build()
+        shards = shard_experts(params.experts, 4)
+        recon = np.concatenate([s.w1 for s in shards])
+        np.testing.assert_array_equal(recon, params.experts.w1)
+
+    def test_rejects_indivisible(self):
+        _, params, _ = build()
+        with pytest.raises(ValueError):
+            shard_experts(params.experts, 3)
+
+
+class TestDistributedForward:
+    @pytest.mark.parametrize("world,de", [(2, 1), (2, 2), (4, 2), (8, 1)])
+    def test_matches_single_process(self, world, de):
+        # With ample capacity nothing is dropped and the distributed
+        # data path must agree exactly with the local layer per rank.
+        cfg, params, xs = build(world=world, experts_per_gpu=de)
+        dist = distributed_moe_forward(xs, params, cfg)
+        for r, x in enumerate(xs):
+            local = moe_layer_forward(
+                x, params, capacity=CapacityPolicy(cfg.capacity_factor))
+            np.testing.assert_allclose(dist.outputs[r], local.output,
+                                       atol=1e-10)
+
+    def test_flexible_and_raw_layouts_agree(self):
+        cfg, params, xs = build(world=4, experts_per_gpu=2)
+        flex = distributed_moe_forward(xs, params, cfg, flexible=True)
+        raw = distributed_moe_forward(xs, params, cfg, flexible=False)
+        for r in range(4):
+            np.testing.assert_allclose(flex.outputs[r], raw.outputs[r],
+                                       atol=1e-10)
+
+    def test_capacity_drops_per_source_gpu(self):
+        cfg, params, xs = build(world=2, experts_per_gpu=1, tokens=64,
+                                top_k=1, f=0.25)
+        dist = distributed_moe_forward(xs, params, cfg)
+        assert dist.dropped_fraction > 0
+
+    def test_rejects_wrong_rank_count(self):
+        cfg, params, xs = build()
+        with pytest.raises(ValueError):
+            distributed_moe_forward(xs[:-1], params, cfg)
+
+    def test_rejects_expert_mismatch(self):
+        cfg, params, xs = build()
+        bad_cfg = cfg.with_(experts_per_gpu=1)
+        with pytest.raises(ValueError):
+            distributed_moe_forward(xs, params, bad_cfg)
+
+    def test_rejects_adaptive_capacity(self):
+        # Adaptive (f <= 0) policies must be resolved to a concrete
+        # factor before the distributed dispatch.
+        cfg, params, xs = build()
+        adaptive = MoEConfig(
+            world_size=cfg.world_size,
+            experts_per_gpu=cfg.experts_per_gpu,
+            model_dim=cfg.model_dim, hidden_dim=cfg.hidden_dim,
+            tokens_per_gpu=cfg.tokens_per_gpu, top_k=cfg.top_k,
+            capacity_factor=1.0)
+        object.__setattr__(adaptive, "capacity_factor", -2.0)
+        with pytest.raises(ValueError):
+            distributed_moe_forward(xs, params, adaptive)
+
+    def test_aux_loss_averaged(self):
+        cfg, params, xs = build()
+        dist = distributed_moe_forward(xs, params, cfg)
+        assert dist.l_aux > 0

@@ -1,0 +1,173 @@
+"""Dense vs sparse encode/decode equivalence and gradient checks.
+
+The core correctness claim of Section 4.2: the sparse O(T*k*M)
+implementation computes exactly what the dense O(T*E*dC*M) einsum does.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.moe.encode import (
+    dense_combine_weights,
+    dense_decode,
+    dense_dispatch_mask,
+    dense_encode,
+    fast_decode,
+    fast_decode_backward,
+    fast_encode,
+    fast_encode_backward,
+)
+from repro.moe.gating import softmax, top_k_routing
+
+
+def random_case(t=32, e=8, m=16, k=2, capacity=None, seed=0,
+                drop_some=False):
+    rng = np.random.default_rng(seed)
+    probs = softmax(rng.normal(size=(t, e)))
+    cap = capacity or (2 if drop_some else t)
+    crit = top_k_routing(probs, k, capacity=cap)
+    x = rng.normal(size=(t, m))
+    z = rng.normal(size=(e, crit.capacity, m))
+    return x, z, crit
+
+
+class TestDenseSparseEquivalence:
+    def test_encode_matches(self):
+        x, _, crit = random_case()
+        np.testing.assert_allclose(fast_encode(x, crit),
+                                   dense_encode(x, crit))
+
+    def test_decode_matches(self):
+        _, z, crit = random_case()
+        np.testing.assert_allclose(fast_decode(z, crit),
+                                   dense_decode(z, crit))
+
+    def test_encode_matches_with_drops(self):
+        x, _, crit = random_case(drop_some=True)
+        assert crit.dropped_fraction() > 0
+        np.testing.assert_allclose(fast_encode(x, crit),
+                                   dense_encode(x, crit))
+
+    def test_decode_matches_with_drops(self):
+        _, z, crit = random_case(drop_some=True)
+        np.testing.assert_allclose(fast_decode(z, crit),
+                                   dense_decode(z, crit))
+
+    @settings(max_examples=30, deadline=None)
+    @given(t=st.integers(2, 40), e=st.integers(2, 8),
+           m=st.integers(1, 12), k=st.integers(1, 3),
+           cap=st.integers(1, 16), seed=st.integers(0, 100))
+    def test_property_equivalence(self, t, e, m, k, cap, seed):
+        if k > e:
+            return
+        x, z, crit = random_case(t, e, m, k, capacity=cap, seed=seed)
+        np.testing.assert_allclose(fast_encode(x, crit),
+                                   dense_encode(x, crit), atol=1e-12)
+        np.testing.assert_allclose(fast_decode(z, crit),
+                                   dense_decode(z, crit), atol=1e-12)
+
+    def test_roundtrip_identity_weights(self):
+        # With k=1, unnormalized gates, capacity >= T and gate value g,
+        # decode(encode(x)) returns g * x for surviving tokens.
+        rng = np.random.default_rng(3)
+        probs = softmax(rng.normal(size=(16, 4)))
+        crit = top_k_routing(probs, 1, capacity=16,
+                             normalize_gate=False)
+        x = rng.normal(size=(16, 8))
+        out = fast_decode(fast_encode(x, crit), crit)
+        np.testing.assert_allclose(out, crit.gates[0][:, None] * x)
+
+
+class TestDenseTensors:
+    def test_combine_weights_shape(self):
+        _, _, crit = random_case()
+        cw = dense_combine_weights(crit)
+        assert cw.shape == (crit.num_tokens, crit.num_experts,
+                            crit.capacity)
+
+    def test_combine_weights_sparsity(self):
+        _, _, crit = random_case(t=32, k=2)
+        cw = dense_combine_weights(crit)
+        assert (cw > 0).sum() == crit.valid.sum()
+
+    def test_dispatch_mask_boolean(self):
+        _, _, crit = random_case()
+        assert dense_dispatch_mask(crit).dtype == bool
+
+    def test_each_cell_holds_one_token(self):
+        _, _, crit = random_case(t=64, k=2)
+        mask = dense_dispatch_mask(crit)
+        assert (mask.sum(axis=0) <= 1).all()
+
+
+class TestSparseBackward:
+    def test_encode_backward_numeric(self):
+        x, _, crit = random_case(t=10, e=4, m=5, k=2, seed=7)
+        grad_out = np.random.default_rng(8).normal(
+            size=(crit.num_experts, crit.capacity, 5))
+        analytic = fast_encode_backward(grad_out, crit)
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        for i in range(x.shape[0]):
+            for j in range(x.shape[1]):
+                xp, xm = x.copy(), x.copy()
+                xp[i, j] += eps
+                xm[i, j] -= eps
+                fp = np.sum(fast_encode(xp, crit) * grad_out)
+                fm = np.sum(fast_encode(xm, crit) * grad_out)
+                numeric[i, j] = (fp - fm) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_decode_backward_wrt_z_numeric(self):
+        _, z, crit = random_case(t=8, e=3, m=4, k=2, seed=9)
+        grad_out = np.random.default_rng(10).normal(
+            size=(crit.num_tokens, 4))
+        grad_z, _ = fast_decode_backward(grad_out, z, crit)
+        eps = 1e-6
+        numeric = np.zeros_like(z)
+        for cell in np.ndindex(z.shape):
+            zp, zm = z.copy(), z.copy()
+            zp[cell] += eps
+            zm[cell] -= eps
+            fp = np.sum(fast_decode(zp, crit) * grad_out)
+            fm = np.sum(fast_decode(zm, crit) * grad_out)
+            numeric[cell] = (fp - fm) / (2 * eps)
+        np.testing.assert_allclose(grad_z, numeric, atol=1e-6)
+
+    def test_decode_backward_wrt_gates(self):
+        _, z, crit = random_case(t=8, e=3, m=4, k=2, seed=11)
+        grad_out = np.random.default_rng(12).normal(size=(8, 4))
+        _, grad_gates = fast_decode_backward(grad_out, z, crit)
+        # d/dg of g * z[cell] . grad = z[cell] . grad at each slot.
+        flat = z.reshape(-1, 4)
+        for slot in range(2):
+            for t in range(8):
+                if not crit.valid[slot, t] or crit.gates[slot, t] == 0:
+                    assert grad_gates[slot, t] == 0
+                    continue
+                cell = (crit.idxs[slot, t] * crit.capacity
+                        + crit.locations[slot, t])
+                expected = float(flat[cell] @ grad_out[t])
+                assert grad_gates[slot, t] == pytest.approx(expected)
+
+    def test_backward_shapes_validated(self):
+        x, z, crit = random_case()
+        with pytest.raises(ValueError):
+            fast_encode_backward(z[:, :, :-1][:, :-1], crit)
+        with pytest.raises(ValueError):
+            fast_decode_backward(np.zeros((3, 3)), z, crit)
+
+
+class TestShapeValidation:
+    def test_encode_rejects_wrong_tokens(self):
+        x, _, crit = random_case()
+        with pytest.raises(ValueError):
+            fast_encode(x[:-1], crit)
+
+    def test_decode_rejects_wrong_dispatch(self):
+        _, z, crit = random_case()
+        with pytest.raises(ValueError):
+            fast_decode(z[:-1], crit)
+        with pytest.raises(ValueError):
+            dense_decode(z[:, :-1], crit)

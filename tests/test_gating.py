@@ -1,0 +1,226 @@
+"""Tests for gating functions, routing, and BPR."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.moe.gating import (
+    RoutingCriteria,
+    compute_locations,
+    cosine_gate_logits,
+    linear_gate_logits,
+    load_balance_loss,
+    softmax,
+    top_k_routing,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        p = softmax(rng.normal(size=(16, 8)))
+        np.testing.assert_allclose(p.sum(axis=1), 1.0)
+
+    def test_stable_for_large_logits(self):
+        p = softmax(np.array([[1e4, 1e4 - 1.0]]))
+        assert np.isfinite(p).all()
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(4, 5))
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0))
+
+
+class TestGateLogits:
+    def test_linear_shape(self, rng):
+        x = rng.normal(size=(32, 16))
+        w = rng.normal(size=(16, 8))
+        assert linear_gate_logits(x, w).shape == (32, 8)
+
+    def test_linear_rejects_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            linear_gate_logits(rng.normal(size=(4, 3)),
+                               rng.normal(size=(5, 8)))
+
+    def test_cosine_bounded_by_temperature(self, rng):
+        x = rng.normal(size=(64, 16))
+        proj = rng.normal(size=(16, 8))
+        embed = rng.normal(size=(4, 8))
+        logits = cosine_gate_logits(x, proj, embed, temperature=0.5)
+        assert np.abs(logits).max() <= 1.0 / 0.5 + 1e-9
+
+    def test_cosine_temperature_floor(self, rng):
+        x = rng.normal(size=(8, 4))
+        proj = rng.normal(size=(4, 4))
+        embed = rng.normal(size=(3, 4))
+        tiny = cosine_gate_logits(x, proj, embed, temperature=1e-6)
+        floor = cosine_gate_logits(x, proj, embed, temperature=0.01)
+        np.testing.assert_allclose(tiny, floor)
+
+    def test_cosine_scale_invariant_in_input(self, rng):
+        x = rng.normal(size=(8, 4))
+        proj = rng.normal(size=(4, 4))
+        embed = rng.normal(size=(3, 4))
+        a = cosine_gate_logits(x, proj, embed)
+        b = cosine_gate_logits(1000.0 * x, proj, embed)
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_cosine_rejects_dim_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            cosine_gate_logits(rng.normal(size=(8, 4)),
+                               rng.normal(size=(4, 6)),
+                               rng.normal(size=(3, 5)))
+
+
+class TestComputeLocations:
+    def test_sequential_numbering(self):
+        idxs = np.array([[0, 0, 1, 0]])
+        locs = compute_locations(idxs, num_experts=2)
+        np.testing.assert_array_equal(locs, [[0, 1, 0, 2]])
+
+    def test_slots_share_expert_queues(self):
+        # Slot 0 fills first; slot 1 continues the same queues.
+        idxs = np.array([[0, 1], [1, 0]])
+        locs = compute_locations(idxs, num_experts=2)
+        np.testing.assert_array_equal(locs, [[0, 0], [1, 1]])
+
+    def test_priority_reorders(self):
+        idxs = np.array([[0, 0, 0]])
+        priority = np.array([0.1, 0.9, 0.5])
+        locs = compute_locations(idxs, 1, priority=priority)
+        # Highest priority token gets position 0.
+        np.testing.assert_array_equal(locs, [[2, 0, 1]])
+
+    def test_locations_unique_per_expert(self):
+        rng = np.random.default_rng(1)
+        idxs = rng.integers(0, 4, size=(2, 50))
+        locs = compute_locations(idxs, 4)
+        for e in range(4):
+            cells = locs[idxs == e]
+            assert len(np.unique(cells)) == len(cells)
+
+    def test_rejects_bad_priority_shape(self):
+        with pytest.raises(ValueError):
+            compute_locations(np.zeros((1, 3), dtype=int), 2,
+                              priority=np.zeros(4))
+
+    @given(t=st.integers(1, 64), e=st.integers(1, 8), k=st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_property_queue_contiguity(self, t, e, k):
+        rng = np.random.default_rng(t * 100 + e * 10 + k)
+        idxs = rng.integers(0, e, size=(k, t))
+        locs = compute_locations(idxs, e)
+        for expert in range(e):
+            cells = np.sort(locs[idxs == expert])
+            np.testing.assert_array_equal(cells, np.arange(len(cells)))
+
+
+class TestTopKRouting:
+    def test_selects_highest_probability(self, rng):
+        probs = softmax(rng.normal(size=(32, 8)))
+        crit = top_k_routing(probs, 2, capacity=32)
+        assert crit.idxs.shape == (2, 32)
+        np.testing.assert_array_equal(crit.idxs[0],
+                                      probs.argmax(axis=1))
+
+    def test_slots_are_distinct_experts(self, rng):
+        probs = softmax(rng.normal(size=(64, 8)))
+        crit = top_k_routing(probs, 3, capacity=64)
+        assert (crit.idxs[0] != crit.idxs[1]).all()
+        assert (crit.idxs[1] != crit.idxs[2]).all()
+
+    def test_normalized_gates_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(16, 4)))
+        crit = top_k_routing(probs, 2, capacity=16, normalize_gate=True)
+        np.testing.assert_allclose(crit.gates.sum(axis=0), 1.0)
+
+    def test_unnormalized_keeps_raw_probs(self, rng):
+        probs = softmax(rng.normal(size=(16, 4)))
+        crit = top_k_routing(probs, 1, capacity=16, normalize_gate=False)
+        np.testing.assert_allclose(crit.gates[0], probs.max(axis=1))
+
+    def test_top_any_k_equals_e(self, rng):
+        probs = softmax(rng.normal(size=(8, 4)))
+        crit = top_k_routing(probs, 4, capacity=8, normalize_gate=True)
+        assert crit.top_k == 4
+        assert set(np.unique(crit.idxs)) == {0, 1, 2, 3}
+
+    def test_capacity_drops_overflow(self):
+        # All tokens prefer expert 0; capacity 2 keeps only two.
+        probs = np.tile([[0.9, 0.1]], (10, 1))
+        crit = top_k_routing(probs, 1, capacity=2)
+        assert crit.valid[0].sum() == 2
+        assert crit.dropped_fraction() == pytest.approx(0.8)
+
+    def test_dropped_slots_have_zero_gate(self):
+        probs = np.tile([[0.9, 0.1]], (10, 1))
+        crit = top_k_routing(probs, 1, capacity=2)
+        assert (crit.gates[~crit.valid] == 0).all()
+
+    def test_bpr_keeps_confident_tokens(self):
+        # Three tokens all route to expert 0 with rising confidence;
+        # capacity 1.  BPR keeps the most confident, FIFO keeps first.
+        probs = np.array([[0.55, 0.45], [0.75, 0.25], [0.95, 0.05]])
+        fifo = top_k_routing(probs, 1, capacity=1, batch_prioritized=False)
+        bpr = top_k_routing(probs, 1, capacity=1, batch_prioritized=True)
+        assert fifo.valid[0].tolist() == [True, False, False]
+        assert bpr.valid[0].tolist() == [False, False, True]
+
+    def test_max_needed_capacity(self, rng):
+        probs = softmax(rng.normal(size=(32, 4)))
+        crit = top_k_routing(probs, 2, capacity=64)
+        counts = np.bincount(crit.idxs.ravel(), minlength=4)
+        assert crit.max_needed_capacity() == counts.max()
+
+    def test_rejects_bad_k(self, rng):
+        probs = softmax(rng.normal(size=(4, 2)))
+        with pytest.raises(ValueError):
+            top_k_routing(probs, 3, capacity=4)
+
+    def test_rejects_bad_capacity(self, rng):
+        probs = softmax(rng.normal(size=(4, 2)))
+        with pytest.raises(ValueError):
+            top_k_routing(probs, 1, capacity=0)
+
+
+class TestRoutingCriteria:
+    def test_valid_mask(self):
+        crit = RoutingCriteria(
+            idxs=np.array([[0, 1]]), locations=np.array([[0, 5]]),
+            gates=np.array([[0.5, 0.5]]), capacity=3, num_experts=2)
+        np.testing.assert_array_equal(crit.valid, [[True, False]])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            RoutingCriteria(idxs=np.zeros(3, dtype=int),
+                            locations=np.zeros(3, dtype=int),
+                            gates=np.zeros(3), capacity=1, num_experts=1)
+
+
+class TestLoadBalanceLoss:
+    def test_uniform_routing_gives_one(self):
+        t, e = 64, 8
+        probs = np.full((t, e), 1.0 / e)
+        idxs = np.tile(np.arange(e), t // e)[None, :]
+        assert load_balance_loss(probs, idxs) == pytest.approx(1.0)
+
+    def test_collapsed_routing_costs_more(self):
+        t, e = 64, 8
+        probs = np.zeros((t, e))
+        probs[:, 0] = 1.0
+        idxs = np.zeros((1, t), dtype=int)
+        assert load_balance_loss(probs, idxs) == pytest.approx(e)
+
+    def test_imbalance_increases_loss(self):
+        # When the gate concentrates probability on an expert AND the
+        # counts follow, the loss exceeds the balanced value of 1.
+        t, e = 256, 4
+        skewed_probs = np.full((t, e), 0.1 / (e - 1))
+        skewed_probs[:, 0] = 0.9
+        skewed = np.zeros((1, t), dtype=int)
+        balanced = np.tile(np.arange(e), t // e)[None, :]
+        assert load_balance_loss(skewed_probs, skewed) > \
+            load_balance_loss(skewed_probs, balanced) > 0

@@ -1,0 +1,80 @@
+"""Tests for the layout-aware batched GEMM cost model (Figure 7)."""
+
+import pytest
+
+from repro.cluster.gemm import GemmModel, batched_gemm_time, expert_ffn_time
+from repro.cluster.topology import GpuSpec
+
+
+class TestGemmModel:
+    def test_efficiency_monotone_in_rows(self):
+        model = GemmModel()
+        effs = [model.efficiency(r) for r in (1, 8, 64, 512, 4096, 16384)]
+        assert effs == sorted(effs)
+
+    def test_efficiency_bounded(self):
+        model = GemmModel()
+        assert 0 < model.efficiency(1) < model.eta_max
+        assert model.efficiency(10 ** 9) <= model.eta_max
+
+    def test_paper_ratio_8_rows_vs_16384(self):
+        # Section 2.4: the (2048, dE, 8, M) layout reaches only 8.8% of
+        # the throughput of the (1, dE, 16384, M) layout.
+        model = GemmModel()
+        ratio = model.efficiency(8) / model.efficiency(16384)
+        assert 0.06 < ratio < 0.12
+
+    def test_rejects_zero_rows(self):
+        with pytest.raises(ValueError):
+            GemmModel().efficiency(0)
+
+    def test_rejects_bad_eta(self):
+        with pytest.raises(ValueError):
+            GemmModel(eta_max=1.5)
+
+
+class TestBatchedGemmTime:
+    def test_same_flops_tall_beats_flat(self):
+        gpu = GpuSpec()
+        tall = batched_gemm_time(gpu, 1, 16384, 2048, 2048)
+        flat = batched_gemm_time(gpu, 2048, 8, 2048, 2048)
+        assert flat > 5 * tall
+
+    def test_figure7_slowdown_magnitude(self):
+        # DeepSpeed fflayer: 11.3x slowdown from 1 GPU to 2048 GPUs.
+        gpu = GpuSpec()
+        single = expert_ffn_time(gpu, 1, 16384, 2048, 2048)
+        scaled = expert_ffn_time(gpu, 2048, 8, 2048, 2048)
+        assert 6 < scaled / single < 20
+
+    def test_launch_overhead_floor(self):
+        gpu = GpuSpec()
+        assert batched_gemm_time(gpu, 1, 1, 1, 1) >= \
+            gpu.kernel_launch_overhead
+
+    def test_linear_in_batch(self):
+        gpu = GpuSpec()
+        one = batched_gemm_time(gpu, 1, 512, 1024, 1024)
+        four = batched_gemm_time(gpu, 4, 512, 1024, 1024)
+        math_one = one - gpu.kernel_launch_overhead
+        math_four = four - gpu.kernel_launch_overhead
+        assert math_four == pytest.approx(4 * math_one)
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ValueError):
+            batched_gemm_time(GpuSpec(), 1, 0, 128, 128)
+
+
+class TestExpertFfnTime:
+    def test_two_gemms(self):
+        gpu = GpuSpec()
+        ffn = expert_ffn_time(gpu, 1, 1024, 512, 2048)
+        g1 = batched_gemm_time(gpu, 1, 1024, 512, 2048)
+        g2 = batched_gemm_time(gpu, 1, 1024, 2048, 512)
+        assert ffn == pytest.approx(g1 + g2)
+
+    def test_backward_is_3x(self):
+        gpu = GpuSpec()
+        fwd = expert_ffn_time(gpu, 2, 256, 512, 2048)
+        bwd = expert_ffn_time(gpu, 2, 256, 512, 2048, backward=True)
+        assert bwd == pytest.approx(3 * fwd)

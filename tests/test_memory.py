@@ -1,0 +1,86 @@
+"""Tests for the Table 4 memory accounting model."""
+
+import pytest
+
+from repro.cluster.memory import (
+    MemoryBreakdown,
+    dense_moe_memory,
+    sparse_moe_memory,
+)
+from repro.core.config import MoEConfig
+from repro.core.units import GIB
+
+
+def table4_config(tokens: int) -> MoEConfig:
+    """Table 4 static settings: M = V = 4096, top-k = 2, dE = 2."""
+    return MoEConfig(world_size=1, experts_per_gpu=2, model_dim=4096,
+                     hidden_dim=4096, tokens_per_gpu=tokens, top_k=2,
+                     capacity_factor=1.0)
+
+
+class TestMemoryBreakdown:
+    def test_add_and_total(self):
+        b = MemoryBreakdown(base_bytes=10, allocator_overhead=1.0)
+        b.add("x", 5)
+        b.add("x", 5)
+        assert b.tensors["x"] == 10
+        assert b.total_bytes == 20
+
+    def test_top_sorted(self):
+        b = MemoryBreakdown()
+        b.add("small", 1)
+        b.add("big", 100)
+        assert b.top(1)[0][0] == "big"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MemoryBreakdown().add("bad", -1)
+
+
+class TestTable4Shape:
+    def test_dense_grows_superlinearly(self):
+        m1 = dense_moe_memory(table4_config(4096)).total_bytes
+        m2 = dense_moe_memory(table4_config(8192)).total_bytes
+        m3 = dense_moe_memory(table4_config(16384)).total_bytes
+        m4 = dense_moe_memory(table4_config(32768)).total_bytes
+        # Growth ratio approaches 4x per token doubling (quadratic).
+        assert (m4 - m3) / (m3 - m2) > 2.5
+        assert m4 / m1 > 10
+
+    def test_sparse_grows_sublinearly(self):
+        s1 = sparse_moe_memory(table4_config(4096)).total_bytes
+        s4 = sparse_moe_memory(table4_config(32768)).total_bytes
+        assert s4 / s1 < 3.0
+
+    @pytest.mark.parametrize("tokens,paper_saving", [
+        (4096, 0.216), (8192, 0.484), (16384, 0.755), (32768, 0.902)])
+    def test_savings_match_paper_band(self, tokens, paper_saving):
+        cfg = table4_config(tokens)
+        dense = dense_moe_memory(cfg).total_bytes
+        sparse = sparse_moe_memory(cfg).total_bytes
+        saving = 1.0 - sparse / dense
+        assert abs(saving - paper_saving) < 0.15
+
+    @pytest.mark.parametrize("tokens,paper_gib", [
+        (4096, 3.7), (8192, 6.2), (16384, 16.3), (32768, 57.9)])
+    def test_dense_totals_within_factor_two(self, tokens, paper_gib):
+        measured = dense_moe_memory(table4_config(tokens)).total_bytes / GIB
+        assert paper_gib / 2 < measured < paper_gib * 2
+
+    def test_sparse_has_no_quadratic_tensor(self):
+        cfg = table4_config(32768)
+        breakdown = sparse_moe_memory(cfg)
+        quadratic = (cfg.tokens_per_gpu * cfg.num_global_experts
+                     * cfg.capacity_per_gpu)
+        assert all(nbytes < quadratic
+                   for nbytes in breakdown.tensors.values())
+
+    def test_dense_largest_tensor_is_combine_weights(self):
+        top_name = dense_moe_memory(table4_config(32768)).top(1)[0][0]
+        assert "T,E,dC" in top_name
+
+    def test_params_identical_across_paths(self):
+        cfg = table4_config(8192)
+        d = dense_moe_memory(cfg).tensors["params+optimizer"]
+        s = sparse_moe_memory(cfg).tensors["params+optimizer"]
+        assert d == s

@@ -1,0 +1,104 @@
+"""Tests for the routing diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.moe.gating import softmax, top_k_routing
+from repro.moe.metrics import (
+    RoutingStats,
+    expert_load,
+    load_imbalance,
+    routing_entropy,
+    routing_stats,
+)
+
+
+def balanced_crit(t=32, e=4):
+    """Deterministic perfectly balanced top-1 routing."""
+    probs = np.zeros((t, e))
+    probs[np.arange(t), np.arange(t) % e] = 1.0
+    return top_k_routing(probs, 1, capacity=t)
+
+
+def collapsed_crit(t=32, e=4):
+    probs = np.zeros((t, e))
+    probs[:, 0] = 1.0
+    return top_k_routing(probs, 1, capacity=t)
+
+
+class TestExpertLoad:
+    def test_balanced_counts(self):
+        load = expert_load(balanced_crit())
+        np.testing.assert_array_equal(load, [8, 8, 8, 8])
+
+    def test_collapsed_counts(self):
+        load = expert_load(collapsed_crit())
+        np.testing.assert_array_equal(load, [32, 0, 0, 0])
+
+    def test_top_k_counts_all_slots(self):
+        rng = np.random.default_rng(0)
+        probs = softmax(rng.normal(size=(16, 4)))
+        crit = top_k_routing(probs, 2, capacity=16)
+        assert expert_load(crit).sum() == 32
+
+    def test_survivors_only(self):
+        # All 32 tokens want expert 0 but only 4 fit its capacity.
+        tight = top_k_routing(np.tile([[0.9, 0.1, 0.0, 0.0]], (32, 1)),
+                              1, capacity=4)
+        assert expert_load(tight, count_dropped=False).sum() == 4
+        assert expert_load(tight, count_dropped=True).sum() == 32
+
+
+class TestImbalanceAndEntropy:
+    def test_balanced_imbalance_is_one(self):
+        assert load_imbalance(balanced_crit()) == pytest.approx(1.0)
+
+    def test_collapsed_imbalance_is_e(self):
+        assert load_imbalance(collapsed_crit()) == pytest.approx(4.0)
+
+    def test_balanced_entropy_is_one(self):
+        assert routing_entropy(balanced_crit()) == pytest.approx(1.0)
+
+    def test_collapsed_entropy_is_zero(self):
+        assert routing_entropy(collapsed_crit()) == pytest.approx(0.0)
+
+    def test_unnormalized_entropy(self):
+        raw = routing_entropy(balanced_crit(), normalized=False)
+        assert raw == pytest.approx(np.log(4))
+
+    def test_imbalance_equals_needed_f_for_top1(self):
+        # The needed capacity factor of Figure 1 is exactly the
+        # max/mean load ratio under top-1 routing.
+        rng = np.random.default_rng(1)
+        probs = softmax(rng.normal(size=(64, 8)) * 2)
+        crit = top_k_routing(probs, 1, capacity=64)
+        from repro.moe.capacity import needed_capacity_factor
+        f = needed_capacity_factor(crit.idxs, 8, 64)
+        assert load_imbalance(crit) == pytest.approx(f)
+
+
+class TestRoutingStats:
+    def test_full_summary(self):
+        rng = np.random.default_rng(2)
+        probs = softmax(rng.normal(size=(48, 6)))
+        crit = top_k_routing(probs, 2, capacity=8)
+        stats = routing_stats(crit, gate_probs=probs)
+        assert isinstance(stats, RoutingStats)
+        assert stats.num_tokens == 48
+        assert stats.top_k == 2
+        assert 0 <= stats.dropped_fraction <= 1
+        assert stats.load_imbalance >= 1.0
+        assert 0 <= stats.routing_entropy <= 1.0
+        assert stats.mean_top1_confidence == pytest.approx(
+            probs.max(axis=1).mean())
+        assert "drop=" in stats.describe()
+
+    def test_without_gate_probs(self):
+        crit = balanced_crit()
+        stats = routing_stats(crit)
+        assert stats.mean_top1_confidence > 0
+
+    def test_rejects_bad_probs_shape(self):
+        crit = balanced_crit()
+        with pytest.raises(ValueError):
+            routing_stats(crit, gate_probs=np.zeros((3, 3)))

@@ -1,0 +1,143 @@
+"""Gradient checks for the differentiable MoE dispatch/combine ops."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.moe_ops import (
+    batched_expert_ffn_input,
+    moe_combine,
+    moe_dispatch,
+)
+from repro.autograd.tensor import Tensor
+from repro.moe.gating import softmax, top_k_routing
+
+
+def routing(t=12, e=4, k=2, capacity=None, seed=0):
+    rng = np.random.default_rng(seed)
+    probs = softmax(rng.normal(size=(t, e)))
+    crit = top_k_routing(probs, k, capacity=capacity or t)
+    return crit, rng
+
+
+class TestMoeDispatch:
+    def test_forward_matches_kernel(self):
+        crit, rng = routing()
+        x = rng.normal(size=(12, 5))
+        from repro.moe.encode import fast_encode
+        out = moe_dispatch(Tensor(x), crit)
+        np.testing.assert_allclose(out.data, fast_encode(x, crit))
+
+    def test_gradient_numeric(self):
+        crit, rng = routing(t=6, e=3, k=2, seed=1)
+        x = rng.normal(size=(6, 4))
+        w = rng.normal(size=(3, crit.capacity, 4))
+        t = Tensor(x, requires_grad=True)
+        (moe_dispatch(t, crit) * Tensor(w)).sum().backward()
+        eps = 1e-6
+        from repro.moe.encode import fast_encode
+        numeric = np.zeros_like(x)
+        for idx in np.ndindex(x.shape):
+            xp, xm = x.copy(), x.copy()
+            xp[idx] += eps
+            xm[idx] -= eps
+            numeric[idx] = (np.sum(fast_encode(xp, crit) * w)
+                            - np.sum(fast_encode(xm, crit) * w)) / (2 * eps)
+        np.testing.assert_allclose(t.grad, numeric, atol=1e-5)
+
+
+class TestMoeCombine:
+    def test_forward_uses_live_gates(self):
+        crit, rng = routing()
+        z = rng.normal(size=(4, crit.capacity, 5))
+        doubled = Tensor(2.0 * crit.gates)
+        out2 = moe_combine(Tensor(z), doubled, crit)
+        out1 = moe_combine(Tensor(z), Tensor(crit.gates.copy()), crit)
+        np.testing.assert_allclose(out2.data, 2.0 * out1.data)
+
+    def test_gradients_numeric(self):
+        crit, rng = routing(t=5, e=3, k=2, seed=2)
+        z = rng.normal(size=(3, crit.capacity, 4))
+        g = crit.gates.copy()
+        w = rng.normal(size=(5, 4))
+
+        zt = Tensor(z, requires_grad=True)
+        gt = Tensor(g, requires_grad=True)
+        (moe_combine(zt, gt, crit) * Tensor(w)).sum().backward()
+
+        from repro.moe.encode import fast_decode
+        from repro.moe.gating import RoutingCriteria
+
+        def value(zv, gv):
+            live = RoutingCriteria(idxs=crit.idxs,
+                                   locations=crit.locations,
+                                   gates=np.where(crit.valid, gv, 0.0),
+                                   capacity=crit.capacity,
+                                   num_experts=crit.num_experts)
+            return float(np.sum(fast_decode(zv, live) * w))
+
+        eps = 1e-6
+        nz = np.zeros_like(z)
+        for idx in np.ndindex(z.shape):
+            zp, zm = z.copy(), z.copy()
+            zp[idx] += eps
+            zm[idx] -= eps
+            nz[idx] = (value(zp, g) - value(zm, g)) / (2 * eps)
+        np.testing.assert_allclose(zt.grad, nz, atol=1e-5)
+
+        ng = np.zeros_like(g)
+        for idx in np.ndindex(g.shape):
+            gp, gm = g.copy(), g.copy()
+            gp[idx] += eps
+            gm[idx] -= eps
+            ng[idx] = (value(z, gp) - value(z, gm)) / (2 * eps)
+        np.testing.assert_allclose(gt.grad, ng, atol=1e-5)
+
+    def test_rejects_gate_shape_mismatch(self):
+        crit, rng = routing()
+        z = Tensor(rng.normal(size=(4, crit.capacity, 5)))
+        with pytest.raises(ValueError):
+            moe_combine(z, Tensor(np.zeros((3, 12))), crit)
+
+    def test_dropped_slots_get_no_gate_grad(self):
+        crit, rng = routing(t=16, e=2, k=1, capacity=2, seed=3)
+        assert crit.dropped_fraction() > 0
+        z = Tensor(rng.normal(size=(2, 2, 4)), requires_grad=True)
+        g = Tensor(np.ones_like(crit.gates), requires_grad=True)
+        moe_combine(z, g, crit).sum().backward()
+        assert (g.grad[~crit.valid] == 0).all()
+
+
+class TestBatchedExpertGemm:
+    def test_forward(self):
+        rng = np.random.default_rng(4)
+        d = rng.normal(size=(3, 5, 4))
+        w = rng.normal(size=(3, 4, 6))
+        out = batched_expert_ffn_input(Tensor(d), Tensor(w))
+        np.testing.assert_allclose(out.data, np.einsum("ecm,emv->ecv",
+                                                       d, w))
+
+    def test_gradients_numeric(self):
+        rng = np.random.default_rng(5)
+        d = rng.normal(size=(2, 3, 4))
+        w = rng.normal(size=(2, 4, 3))
+        dt = Tensor(d, requires_grad=True)
+        wt = Tensor(w, requires_grad=True)
+        batched_expert_ffn_input(dt, wt).sum().backward()
+
+        def value(dv, wv):
+            return float(np.einsum("ecm,emv->ecv", dv, wv).sum())
+        eps = 1e-6
+        nd = np.zeros_like(d)
+        for idx in np.ndindex(d.shape):
+            dp, dm = d.copy(), d.copy()
+            dp[idx] += eps
+            dm[idx] -= eps
+            nd[idx] = (value(dp, w) - value(dm, w)) / (2 * eps)
+        np.testing.assert_allclose(dt.grad, nd, atol=1e-5)
+        nw = np.zeros_like(w)
+        for idx in np.ndindex(w.shape):
+            wp, wm = w.copy(), w.copy()
+            wp[idx] += eps
+            wm[idx] -= eps
+            nw[idx] = (value(d, wp) - value(d, wm)) / (2 * eps)
+        np.testing.assert_allclose(wt.grad, nw, atol=1e-5)

@@ -1,0 +1,201 @@
+"""Tests for the trainable NN modules and the MoE layer module."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.nn.models import DenseClassifier, MoEClassifier
+from repro.nn.modules import FFN, LayerNorm, Linear, Module, Sequential
+from repro.nn.moe import MoE
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestModules:
+    def test_linear_forward(self, rng):
+        layer = Linear(4, 3, rng)
+        x = Tensor(rng.normal(size=(5, 4)))
+        out = layer(x)
+        np.testing.assert_allclose(
+            out.data, x.data @ layer.weight.data + layer.bias.data)
+
+    def test_linear_no_bias(self, rng):
+        layer = Linear(4, 3, rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_parameters_recursive(self, rng):
+        model = Sequential(Linear(4, 8, rng), LayerNorm(8),
+                           FFN(8, 16, rng))
+        # linear w+b, ln w+b, ffn 2x(w+b) = 8 tensors.
+        assert len(model.parameters()) == 8
+
+    def test_named_parameters_paths(self, rng):
+        ffn = FFN(4, 8, rng)
+        names = dict(ffn.named_parameters())
+        assert "fc1.weight" in names
+        assert "fc2.bias" in names
+
+    def test_freeze(self, rng):
+        ffn = FFN(4, 8, rng)
+        ffn.freeze()
+        assert all(not p.requires_grad
+                   for p in [ffn.fc1.weight, ffn.fc2.weight])
+        assert ffn.parameters() == []
+
+    def test_num_parameters(self, rng):
+        layer = Linear(4, 3, rng)
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_ffn_rejects_bad_activation(self, rng):
+        with pytest.raises(ValueError):
+            FFN(4, 8, rng, activation="swish")
+
+    def test_layernorm_normalizes(self, rng):
+        ln = LayerNorm(16)
+        x = Tensor(rng.normal(size=(8, 16)) * 10 + 5)
+        out = ln(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_module_forward_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestMoEModule:
+    def make(self, rng, **kwargs):
+        defaults = dict(model_dim=8, hidden_dim=16, num_experts=4,
+                        rng=rng, top_k=2, capacity_factor=2.0)
+        defaults.update(kwargs)
+        return MoE(**defaults)
+
+    def test_forward_shapes(self, rng):
+        moe = self.make(rng)
+        out, l_aux = moe(Tensor(rng.normal(size=(32, 8))))
+        assert out.shape == (32, 8)
+        assert l_aux.data.size == 1
+
+    def test_backward_reaches_all_params(self, rng):
+        moe = self.make(rng)
+        x = Tensor(rng.normal(size=(32, 8)), requires_grad=True)
+        out, l_aux = moe(x)
+        (out.sum() + l_aux).backward()
+        for name, p in moe.named_parameters():
+            assert p.grad is not None, name
+        assert x.grad is not None
+
+    def test_router_gets_gradient_with_k1(self, rng):
+        # The Switch-style k=1 path must train the router through the
+        # combine (the raw probability scales the output).
+        moe = self.make(rng, top_k=1)
+        x = Tensor(rng.normal(size=(32, 8)))
+        out, _ = moe(x)
+        out.sum().backward()
+        assert np.abs(moe.gate.weight.grad).max() > 0
+
+    def test_matches_functional_layer(self, rng):
+        # The module's forward must agree with the verified functional
+        # implementation when given the same parameters.
+        from repro.moe.capacity import CapacityPolicy
+        from repro.moe.layer import (ExpertParams, MoELayerParams,
+                                     moe_layer_forward)
+        moe = self.make(rng, capacity_factor=4.0)
+        moe.w1.data = rng.normal(size=moe.w1.shape)
+        x = rng.normal(size=(24, 8))
+        out, _ = moe(Tensor(x))
+
+        params = MoELayerParams(
+            experts=ExpertParams(w1=moe.w1.data, w2=moe.w2.data),
+            gate_weight=moe.gate.weight.data, top_k=2,
+            capacity=CapacityPolicy(4.0), activation="gelu")
+        expected = moe_layer_forward(x, params)
+        np.testing.assert_allclose(out.data, expected.output, atol=1e-9)
+
+    def test_dynamic_top_k_per_call(self, rng):
+        moe = self.make(rng)
+        x = Tensor(rng.normal(size=(16, 8)))
+        out1, _ = moe(x, top_k=1)
+        out3, _ = moe(x, top_k=3)
+        assert not np.allclose(out1.data, out3.data)
+
+    def test_adaptive_capacity_never_drops(self, rng):
+        moe = self.make(rng, capacity_factor=0.0)
+        moe(Tensor(rng.normal(size=(64, 8))))
+        assert moe.last_dropped_fraction == 0.0
+
+    def test_bounded_capacity_records_factor(self, rng):
+        moe = self.make(rng, capacity_factor=-1.0)
+        moe(Tensor(rng.normal(size=(64, 8))))
+        assert moe.last_effective_capacity_factor <= 1.0
+        assert moe.last_needed_capacity_factor >= 1.0
+
+    def test_bpr_flag(self, rng):
+        moe = self.make(rng, batch_prioritized=True,
+                        capacity_factor=0.5, top_k=1)
+        out, _ = moe(Tensor(rng.normal(size=(64, 8))))
+        assert moe.last_dropped_fraction > 0
+
+    def test_cosine_router(self, rng):
+        moe = self.make(rng, router="cosine")
+        out, l_aux = moe(Tensor(rng.normal(size=(16, 8))))
+        assert out.shape == (16, 8)
+        out.sum().backward()
+        assert moe.expert_embed.grad is not None
+
+    def test_rejects_bad_config(self, rng):
+        with pytest.raises(ValueError):
+            self.make(rng, num_experts=0)
+        with pytest.raises(ValueError):
+            self.make(rng, top_k=9)
+        with pytest.raises(ValueError):
+            self.make(rng, router="mystery")
+
+    def test_rejects_bad_input(self, rng):
+        moe = self.make(rng)
+        with pytest.raises(ValueError):
+            moe(Tensor(rng.normal(size=(4, 8, 2))))
+
+
+class TestClassifiers:
+    def test_dense_forward(self, rng):
+        model = DenseClassifier(6, 8, 16, 5, num_blocks=2, rng=rng)
+        logits, l_aux = model(Tensor(rng.normal(size=(10, 6))))
+        assert logits.shape == (10, 5)
+        assert float(l_aux.data) == 0.0
+
+    def test_moe_forward_and_aux(self, rng):
+        model = MoEClassifier(6, 8, 16, 5, num_blocks=4, num_experts=4,
+                              rng=rng)
+        logits, l_aux = model(Tensor(rng.normal(size=(10, 6))))
+        assert logits.shape == (10, 5)
+        assert float(l_aux.data) > 0
+
+    def test_moe_layer_placement_every_other(self, rng):
+        model = MoEClassifier(6, 8, 16, 5, num_blocks=4, num_experts=4,
+                              rng=rng)
+        assert len(model.moe_layers()) == 2
+
+    def test_freeze_moe_keeps_rest_trainable(self, rng):
+        model = MoEClassifier(6, 8, 16, 5, num_blocks=2, num_experts=4,
+                              rng=rng)
+        n_all = len([p for p in model.parameters() if p.requires_grad])
+        model.freeze_moe()
+        n_left = len([p for p in model.parameters() if p.requires_grad])
+        assert 0 < n_left < n_all
+
+    def test_set_inference_capacity(self, rng):
+        model = MoEClassifier(6, 8, 16, 5, num_blocks=2, num_experts=4,
+                              rng=rng, capacity_factor=1.0)
+        model.set_inference_capacity(0.5)
+        assert all(layer.capacity_policy.capacity_factor == 0.5
+                   for layer in model.moe_layers())
+
+    def test_features_shape(self, rng):
+        model = MoEClassifier(6, 8, 16, 5, num_blocks=2, num_experts=4,
+                              rng=rng)
+        feats = model.features(Tensor(rng.normal(size=(7, 6))))
+        assert feats.shape == (7, 8)

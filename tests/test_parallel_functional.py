@@ -1,0 +1,120 @@
+"""Tests for the functional P1/P2 executions (zero-cost switching).
+
+The paper's key design property: P1 and P2 share token feeding and
+parameter placement semantics, so an iteration may run under either
+and produce the same numbers.  These tests assert elementwise
+equality between P1, P2 and the single-process reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MoEConfig
+from repro.moe.capacity import CapacityPolicy
+from repro.moe.layer import MoELayerParams, moe_layer_forward
+from repro.parallel.functional import (
+    gather_zero_slices,
+    p1_forward,
+    p2_forward,
+    shard_expert_columns,
+    slice_expert_zero,
+)
+
+
+def build(world=8, experts=2, tokens=16, m=12, v=24, k=1, f=2.0,
+          seed=0, activation="gelu"):
+    rng = np.random.default_rng(seed)
+    cfg = MoEConfig(world_size=world, experts_per_gpu=experts / world,
+                    model_dim=m, hidden_dim=v, tokens_per_gpu=tokens,
+                    top_k=min(k, experts), capacity_factor=f)
+    params = MoELayerParams.init(num_experts=experts, model_dim=m,
+                                 hidden_dim=v, rng=rng,
+                                 top_k=min(k, experts),
+                                 activation=activation)
+    xs = [rng.normal(size=(tokens, m)) for _ in range(world)]
+    return cfg, params, xs
+
+
+class TestParameterPlacement:
+    def test_column_shards_reconstruct(self):
+        _, params, _ = build()
+        shards = shard_expert_columns(params.experts, 0, 4)
+        w1 = np.concatenate([s.w1 for s in shards], axis=1)
+        w2 = np.concatenate([s.w2 for s in shards], axis=0)
+        np.testing.assert_array_equal(w1, params.experts.w1[0])
+        np.testing.assert_array_equal(w2, params.experts.w2[0])
+
+    def test_column_shards_reject_indivisible(self):
+        _, params, _ = build(v=10)
+        with pytest.raises(ValueError):
+            shard_expert_columns(params.experts, 0, 4)
+
+    def test_zero_slices_roundtrip(self):
+        _, params, _ = build()
+        slices = slice_expert_zero(params.experts, 1, 4)
+        full = gather_zero_slices(slices, params.experts, 1)
+        np.testing.assert_allclose(full.w1[0], params.experts.w1[1])
+        np.testing.assert_allclose(full.w2[0], params.experts.w2[1])
+        np.testing.assert_allclose(full.b1[0], params.experts.b1[1])
+        np.testing.assert_allclose(full.b2[0], params.experts.b2[1])
+
+    def test_zero_slices_are_disjoint_and_complete(self):
+        _, params, _ = build()
+        slices = slice_expert_zero(params.experts, 0, 3)
+        total = sum(s["slice"].size for s in slices)
+        expected = (params.experts.w1[0].size
+                    + params.experts.w2[0].size
+                    + params.experts.b1[0].size
+                    + params.experts.b2[0].size)
+        assert total == expected
+
+
+class TestSwitchingEquivalence:
+    @pytest.mark.parametrize("world,experts,k", [(4, 2, 1), (8, 2, 1),
+                                                 (8, 2, 2), (8, 4, 1),
+                                                 (8, 1, 1)])
+    def test_p1_equals_p2_equals_reference(self, world, experts, k):
+        cfg, params, xs = build(world=world, experts=experts, k=k)
+        ref = [moe_layer_forward(
+            x, params, capacity=CapacityPolicy(cfg.capacity_factor))
+            .output for x in xs]
+        p1 = p1_forward(xs, params, cfg)
+        p2 = p2_forward(xs, params, cfg)
+        for r in range(world):
+            np.testing.assert_allclose(p1[r], ref[r], atol=1e-12)
+            np.testing.assert_allclose(p2[r], ref[r], atol=1e-12)
+            np.testing.assert_allclose(p1[r], p2[r], atol=1e-12)
+
+    def test_relu_activation_path(self):
+        cfg, params, xs = build(activation="relu")
+        p1 = p1_forward(xs, params, cfg)
+        p2 = p2_forward(xs, params, cfg)
+        for r in range(cfg.world_size):
+            np.testing.assert_allclose(p1[r], p2[r], atol=1e-12)
+
+    def test_with_token_dropping(self):
+        # Even with capacity truncation both paths agree: the routing
+        # (hence the drop set) is computed identically up front.
+        cfg, params, xs = build(f=0.5, tokens=64)
+        p1 = p1_forward(xs, params, cfg)
+        p2 = p2_forward(xs, params, cfg)
+        for r in range(cfg.world_size):
+            np.testing.assert_allclose(p1[r], p2[r], atol=1e-12)
+
+    def test_p1_requires_divisible_capacity(self):
+        # dC = 11 with r = 4 cannot be sub-sliced evenly.
+        cfg, params, xs = build(tokens=11, f=2.0)
+        assert cfg.capacity_per_gpu % 4 != 0
+        with pytest.raises(ValueError):
+            p1_forward(xs, params, cfg)
+
+    def test_rejects_wrong_world(self):
+        cfg, params, xs = build()
+        with pytest.raises(ValueError):
+            p2_forward(xs[:-1], params, cfg)
+
+    def test_rejects_expert_mismatch(self):
+        cfg, params, xs = build()
+        bad = cfg.with_(experts_per_gpu=0.5)
+        with pytest.raises(ValueError):
+            p2_forward(xs, params, bad)

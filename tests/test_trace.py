@@ -1,0 +1,58 @@
+"""Tests for the chrome-trace exporter."""
+
+import json
+
+from repro.cluster.simulator import Schedule, simulate
+from repro.cluster.trace import save_chrome_trace, to_chrome_trace
+from repro.cluster.topology import ndv4_topology
+from repro.core.config import MoEConfig
+from repro.pipeline.schedule import PipelineStrategy, build_pipeline_schedule
+
+
+def pipeline_result(degree=4):
+    cfg = MoEConfig(world_size=64, experts_per_gpu=2, model_dim=1024,
+                    hidden_dim=1024, tokens_per_gpu=4096, top_k=2)
+    schedule = build_pipeline_schedule(cfg, ndv4_topology(64),
+                                       PipelineStrategy(degree=degree))
+    return simulate(schedule)
+
+
+class TestChromeTrace:
+    def test_event_per_op(self):
+        result = pipeline_result(degree=2)
+        events = to_chrome_trace(result)
+        assert len(events) == len(result.spans)
+
+    def test_complete_events_have_duration(self):
+        events = to_chrome_trace(pipeline_result())
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete
+        assert all(e["dur"] > 0 for e in complete)
+
+    def test_barrier_is_instant_event(self):
+        events = to_chrome_trace(pipeline_result())
+        instants = [e for e in events if e["ph"] == "i"]
+        assert any(e["name"] == "barrier" for e in instants)
+
+    def test_streams_become_threads(self):
+        events = to_chrome_trace(pipeline_result())
+        tids = {e["tid"] for e in events}
+        assert {"comm", "compute"} <= tids
+
+    def test_events_sorted_by_start(self):
+        events = to_chrome_trace(pipeline_result())
+        starts = [e["ts"] for e in events]
+        assert starts == sorted(starts)
+
+    def test_save_roundtrip(self, tmp_path):
+        result = pipeline_result(degree=2)
+        out = save_chrome_trace(result, tmp_path / "trace.json")
+        payload = json.loads(out.read_text())
+        assert payload["traceEvents"]
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_time_scale(self):
+        result = pipeline_result(degree=1)
+        us = to_chrome_trace(result, time_scale=1e6)
+        ms = to_chrome_trace(result, time_scale=1e3)
+        assert us[-1]["ts"] == 1000 * ms[-1]["ts"]

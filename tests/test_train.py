@@ -1,0 +1,161 @@
+"""Tests for the synthetic tasks and training loops."""
+
+import numpy as np
+import pytest
+
+from repro.nn.models import DenseClassifier, MoEClassifier
+from repro.train.data import ClusteredTokenTask, TokenBatch, few_shot_split
+from repro.train.trainer import (
+    evaluate,
+    linear_probe_accuracy,
+    train_model,
+)
+
+
+@pytest.fixture(scope="module")
+def task():
+    return ClusteredTokenTask(num_clusters=8, input_dim=8, num_classes=4,
+                              noise=0.4, seed=0)
+
+
+class TestTask:
+    def test_sample_shapes(self, task):
+        batch = task.sample(100)
+        assert batch.x.shape == (100, 8)
+        assert batch.y.shape == (100,)
+        assert set(np.unique(batch.cluster)) <= set(range(8))
+
+    def test_labels_in_range(self, task):
+        batch = task.sample(500)
+        assert batch.y.min() >= 0
+        assert batch.y.max() < 4
+
+    def test_labels_cluster_conditional(self, task):
+        # The same offset yields different labels in different clusters
+        # for at least some cluster pairs — the expert-specialization
+        # mechanism.
+        rng = np.random.default_rng(1)
+        offsets = rng.normal(0.0, task.noise, (200, task.input_dim))
+        labels = {}
+        for c in range(3):
+            clusters = np.full(200, c)
+            labels[c] = task._label(offsets, clusters, task.label_maps,
+                                    task.label_bias)
+        assert (labels[0] != labels[1]).mean() > 0.3
+
+    def test_downstream_same_clusters_new_labels(self, task):
+        down = task.downstream(seed=1)
+        np.testing.assert_array_equal(down.centers, task.centers)
+        assert not np.allclose(down.label_maps, task.label_maps)
+
+    def test_rejects_bad_sample(self, task):
+        with pytest.raises(ValueError):
+            task.sample(0)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            ClusteredTokenTask(num_clusters=0)
+        with pytest.raises(ValueError):
+            ClusteredTokenTask(num_classes=1)
+
+
+class TestFewShotSplit:
+    def test_shots_per_class(self, task):
+        batch = task.sample(2000)
+        train, test = few_shot_split(batch, shots=5, seed=0)
+        for cls in np.unique(batch.y):
+            assert (train.y == cls).sum() == 5
+        assert len(train) + len(test) == len(batch)
+
+    def test_rejects_insufficient_samples(self, task):
+        batch = task.sample(6)
+        with pytest.raises(ValueError):
+            few_shot_split(batch, shots=5)
+
+    def test_rejects_bad_shots(self, task):
+        with pytest.raises(ValueError):
+            few_shot_split(task.sample(100), shots=0)
+
+
+class TestTokenBatch:
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            TokenBatch(np.zeros((3, 2)), np.zeros(2), np.zeros(3))
+
+    def test_subset(self, task):
+        batch = task.sample(50)
+        sub = batch.subset(np.array([0, 2, 4]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.x, batch.x[[0, 2, 4]])
+
+
+class TestTraining:
+    @pytest.fixture(scope="class")
+    def splits(self):
+        task = ClusteredTokenTask(num_clusters=8, input_dim=8,
+                                  num_classes=4, noise=0.4, seed=0)
+        return task.sample(2048), task.sample(1024)
+
+    def test_loss_decreases(self, splits):
+        train, test = splits
+        model = DenseClassifier(8, 16, 32, 4, num_blocks=2,
+                                rng=np.random.default_rng(0))
+        result = train_model(model, train, test, steps=80, seed=0)
+        assert np.mean(result.losses[-10:]) < np.mean(result.losses[:10])
+
+    def test_beats_chance(self, splits):
+        train, test = splits
+        model = DenseClassifier(8, 16, 32, 4, num_blocks=2,
+                                rng=np.random.default_rng(0))
+        result = train_model(model, train, test, steps=150, seed=0)
+        assert result.eval_accuracy > 0.35  # chance = 0.25
+
+    def test_moe_records_capacity_traces(self, splits):
+        train, test = splits
+        model = MoEClassifier(8, 16, 32, 4, num_blocks=2, num_experts=8,
+                              rng=np.random.default_rng(0), top_k=1)
+        result = train_model(model, train, test, steps=30, seed=0)
+        assert len(result.capacity_traces[0]) == 30
+        assert all(f >= 1.0 for f in result.capacity_traces[0])
+
+    def test_frozen_moe_params_untouched(self, splits):
+        train, test = splits
+        model = MoEClassifier(8, 16, 32, 4, num_blocks=2, num_experts=8,
+                              rng=np.random.default_rng(0), top_k=1)
+        model.freeze_moe()
+        before = model.moe_layers()[0].w1.data.copy()
+        train_model(model, train, test, steps=20, seed=0)
+        np.testing.assert_array_equal(model.moe_layers()[0].w1.data,
+                                      before)
+
+    def test_rejects_all_frozen(self, splits):
+        train, test = splits
+        model = DenseClassifier(8, 16, 32, 4, num_blocks=1,
+                                rng=np.random.default_rng(0))
+        for p in model.parameters():
+            p.requires_grad = False
+        with pytest.raises(ValueError):
+            train_model(model, train, test, steps=5)
+
+    def test_rejects_zero_steps(self, splits):
+        train, test = splits
+        model = DenseClassifier(8, 16, 32, 4, num_blocks=1,
+                                rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            train_model(model, train, test, steps=0)
+
+    def test_evaluate_range(self, splits):
+        train, test = splits
+        model = DenseClassifier(8, 16, 32, 4, num_blocks=1,
+                                rng=np.random.default_rng(0))
+        acc = evaluate(model, test)
+        assert 0.0 <= acc <= 1.0
+
+    def test_linear_probe(self, splits):
+        train, test = splits
+        model = DenseClassifier(8, 16, 32, 4, num_blocks=2,
+                                rng=np.random.default_rng(0))
+        train_model(model, train, test, steps=120, seed=0)
+        probe_train, probe_test = few_shot_split(test, shots=5, seed=0)
+        acc = linear_probe_accuracy(model, probe_train, probe_test)
+        assert acc > 0.25  # better than chance on 4 classes

@@ -1,0 +1,38 @@
+"""Tests for the unit-formatting helpers."""
+
+import pytest
+
+from repro.core.units import GIB, KIB, MIB, fmt_bytes, fmt_rate, fmt_time
+
+
+class TestConstants:
+    def test_binary_units(self):
+        assert KIB == 1024
+        assert MIB == 1024 ** 2
+        assert GIB == 1024 ** 3
+
+
+class TestFormatting:
+    @pytest.mark.parametrize("value,expected", [
+        (512, "512 B"),
+        (2 * KIB, "2.00 KiB"),
+        (3.5 * MIB, "3.50 MiB"),
+        (1.25 * GIB, "1.25 GiB"),
+        (2048 * GIB, "2.00 TiB"),
+    ])
+    def test_fmt_bytes(self, value, expected):
+        assert fmt_bytes(value) == expected
+
+    @pytest.mark.parametrize("value,expected", [
+        (5e-6, "5.0 us"),
+        (1.5e-3, "1.50 ms"),
+        (2.5, "2.500 s"),
+    ])
+    def test_fmt_time(self, value, expected):
+        assert fmt_time(value) == expected
+
+    def test_fmt_rate_decimal_gb(self):
+        assert fmt_rate(25e9) == "25.00 GB/s"
+
+    def test_fmt_bytes_huge_stays_tib(self):
+        assert fmt_bytes(5000 * GIB).endswith("TiB")
