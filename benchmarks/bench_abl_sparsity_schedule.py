@@ -15,7 +15,6 @@ proportional to MoE fflayer FLOPs).
 from conftest import accuracy_scale
 from repro.bench.harness import Table
 from repro.nn.models import MoEClassifier
-from repro.train.data import ClusteredTokenTask
 from repro.train.experiments import make_task
 from repro.train.schedules import ConstantSchedule, StepSchedule
 from repro.train.trainer import train_model

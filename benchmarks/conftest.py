@@ -10,11 +10,37 @@ rounds).
 
 Set ``REPRO_SCALE=full`` to run the accuracy experiments at a larger
 scale (tighter error bars, minutes instead of seconds).
+
+Set ``REPRO_TRACE=/path/trace.json`` to run the whole bench session
+under the :mod:`repro.obs` observer and dump a Chrome-trace JSON (plus
+a printed metrics summary) at session end — every instrumented span in
+the MoE layers, trainer, collectives, strategy search, and simulator
+lands in one unified timeline.
 """
 
 import os
 
 import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def obs_session_trace():
+    """Record the bench session into REPRO_TRACE, when set."""
+    path = os.environ.get("REPRO_TRACE")
+    if not path:
+        yield
+        return
+    from repro import obs
+    ob = obs.enable()
+    try:
+        yield
+        assert ob.recorder is not None
+        ob.recorder.dump_chrome_trace(path)
+        print(f"\n[obs] wrote {len(ob.recorder.events)} trace events "
+              f"to {path}")
+        print(ob.registry.render())
+    finally:
+        obs.disable()
 
 
 def accuracy_scale():

@@ -19,8 +19,8 @@ Quickstart::
     print(out.output.shape, out.l_aux)
 """
 
-__version__ = "0.1.0"
-
 from repro.core.config import MoEConfig
+
+__version__ = "0.1.0"
 
 __all__ = ["MoEConfig", "__version__"]

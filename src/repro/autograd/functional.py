@@ -96,7 +96,6 @@ def layer_norm(x: Tensor, weight: Tensor, bias: Tensor,
     inv = 1.0 / np.sqrt(var + eps)
     xhat = (x.data - mu) * inv
     out = xhat * weight.data + bias.data
-    n = x.data.shape[-1]
 
     def backward(grad: np.ndarray) -> None:
         weight._accumulate((grad * xhat).sum(

@@ -6,15 +6,20 @@ Usage::
     python -m repro bench fig20          # regenerate one table/figure
     python -m repro bench all            # regenerate everything
     python -m repro info                 # library / substrate summary
+    python -m repro obs                  # instrumented demo + Chrome trace
 
 Each bench is the same module pytest-benchmark runs; the CLI imports
-its ``run()`` and prints the full table.
+its ``run()`` and prints the full table.  Setting ``REPRO_TRACE=path``
+makes ``bench`` record every instrumented span and write a Chrome-trace
+JSON there; ``repro obs`` does the same for a self-contained demo
+(train steps + simulator run + the encode-locations microbench).
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib.util
+import os
 import sys
 from pathlib import Path
 
@@ -75,13 +80,23 @@ def discover_benches() -> dict[str, Path]:
 
 
 def run_bench(short_id: str) -> None:
-    """Import a bench module by path and execute its ``run()``."""
+    """Import a bench module by path and execute its ``run()``.
+
+    With ``REPRO_TRACE=path`` in the environment the run happens under
+    an enabled observer and the collected trace is written there (one
+    file per bench — with ``bench all`` the last bench's trace wins).
+    """
     benches = discover_benches()
     if short_id not in benches:
         known = ", ".join(sorted(benches))
         raise SystemExit(
             f"unknown bench {short_id!r}; available: {known}")
     path = benches[short_id]
+    trace_path = os.environ.get("REPRO_TRACE")
+    ob = None
+    if trace_path:
+        from repro import obs
+        ob = obs.enable()
     sys.path.insert(0, str(path.parent))  # for `import conftest`
     try:
         spec = importlib.util.spec_from_file_location(path.stem, path)
@@ -91,6 +106,13 @@ def run_bench(short_id: str) -> None:
         module.run(verbose=True)
     finally:
         sys.path.remove(str(path.parent))
+        if ob is not None:
+            from repro import obs
+            assert ob.recorder is not None
+            ob.recorder.dump_chrome_trace(trace_path)
+            print(f"[obs] wrote {len(ob.recorder.events)} trace events "
+                  f"to {trace_path}")
+            obs.disable()
 
 
 def _cmd_list() -> None:
@@ -119,6 +141,92 @@ def _cmd_info() -> None:
           "for paper-vs-measured results")
 
 
+def _cmd_obs(trace_path: str, jsonl_path: str | None, steps: int) -> None:
+    """Instrumented end-to-end demo of the ``repro.obs`` subsystem.
+
+    Runs (1) a few real training steps of a small MoE classifier so the
+    trace carries gate/encode/expert_ffn/decode spans and the per-step
+    RoutingStats history, (2) one discrete-event simulation so
+    simulated-clock tracks appear beside the wall-clock ones, and
+    (3) the ``compute_locations`` rewrite-vs-reference microbench timed
+    through the obs registry.  Writes the Chrome trace (and optionally
+    JSONL) and prints the metrics summary.
+    """
+    import numpy as np
+
+    from repro import obs
+    from repro.cluster.simulator import Schedule, simulate
+    from repro.moe.gating import (
+        compute_locations,
+        compute_locations_reference,
+    )
+    from repro.nn.models import MoEClassifier
+    from repro.train.data import ClusteredTokenTask
+    from repro.train.trainer import train_model
+
+    ob = obs.enable()
+    try:
+        # 1. Real training steps (wall-clock spans + routing history).
+        task = ClusteredTokenTask(num_clusters=8, input_dim=8,
+                                  num_classes=4, noise=0.4, seed=0)
+        rng = np.random.default_rng(0)
+        model = MoEClassifier(input_dim=8, model_dim=32, hidden_dim=64,
+                              num_classes=4, num_blocks=2, num_experts=8,
+                              rng=rng, top_k=2, capacity_factor=1.25)
+        train_model(model, task.sample(512), task.sample(256),
+                    steps=steps, batch_size=128)
+
+        # 2. One simulated pipeline segment (simulated-clock spans).
+        sched = Schedule()
+        prev = None
+        for i in range(3):
+            comp = sched.new_op(work=2e-3, stream="compute",
+                                kind="compute", label=f"expert_chunk{i}",
+                                deps=(prev,) if prev else ())
+            prev = sched.new_op(work=1.5e-3, stream="comm", kind="comm",
+                                label=f"a2a_chunk{i}", deps=(comp,))
+        simulate(sched)
+
+        # 3. compute_locations speedup, recorded via the obs timers.
+        bench_rng = np.random.default_rng(0)
+        idxs = bench_rng.integers(0, 64, (2, 4096))
+        for _ in range(5):
+            with ob.span("locations_reference", obs.CAT_BENCH):
+                compute_locations_reference(idxs, 64)
+            with ob.span("locations_fast", obs.CAT_BENCH):
+                compute_locations(idxs, 64)
+        ref = ob.registry.histogram("bench.locations_reference")
+        fast = ob.registry.histogram("bench.locations_fast")
+
+        print(ob.registry.render())
+        print()
+        train_records = [r for r in ob.routing_history if r.step >= 0]
+        print(f"routing history: {len(train_records)} training records "
+              f"({steps} steps x {len(model.moe_layers())} MoE layer(s)), "
+              f"{len(ob.routing_history) - len(train_records)} eval")
+        series = ob.capacity_factor_series(layer=0)
+        if series:
+            print(f"needed capacity factor (layer 0): "
+                  f"first={series[0]:.2f} last={series[-1]:.2f} "
+                  f"max={max(series):.2f}")
+        if fast.min > 0:
+            print(f"compute_locations rewrite: {ref.min * 1e3:.3f} ms -> "
+                  f"{fast.min * 1e3:.3f} ms "
+                  f"({ref.min / fast.min:.1f}x, best of {fast.count}, "
+                  f"T=4096 E=64 k=2)")
+
+        assert ob.recorder is not None
+        ob.recorder.dump_chrome_trace(trace_path)
+        print(f"[obs] wrote {len(ob.recorder.events)} trace events to "
+              f"{trace_path} (open in chrome://tracing or "
+              "https://ui.perfetto.dev)")
+        if jsonl_path:
+            ob.recorder.dump_jsonl(jsonl_path)
+            print(f"[obs] wrote JSONL events to {jsonl_path}")
+    finally:
+        obs.disable()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -128,12 +236,22 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("info", help="library summary")
     bench = sub.add_parser("bench", help="run one bench (or 'all')")
     bench.add_argument("id", help="short id, e.g. fig20, tab08, all")
+    obs_cmd = sub.add_parser(
+        "obs", help="instrumented demo: trace + metrics of a train step")
+    obs_cmd.add_argument("--trace", default="repro-trace.json",
+                         help="Chrome-trace JSON output path")
+    obs_cmd.add_argument("--jsonl", default=None,
+                         help="also dump raw events as JSONL")
+    obs_cmd.add_argument("--steps", type=int, default=8,
+                         help="training steps to record")
     args = parser.parse_args(argv)
 
     if args.command == "list":
         _cmd_list()
     elif args.command == "info":
         _cmd_info()
+    elif args.command == "obs":
+        _cmd_obs(args.trace, args.jsonl, args.steps)
     elif args.command == "bench":
         if args.id == "all":
             for short in sorted(discover_benches()):

@@ -24,6 +24,8 @@ import itertools
 import math
 from dataclasses import dataclass, field
 
+from repro.obs import CAT_SIM, Observer, get_observer
+
 __all__ = [
     "Op",
     "InterferenceModel",
@@ -138,6 +140,21 @@ class SimResult:
     def span(self, op: Op) -> tuple[float, float]:
         return self.spans[op]
 
+    def record_trace(self, ob: Observer, prefix: str = "sim") -> None:
+        """Emit every op span onto the observer's simulated-clock
+        tracks (``{prefix}/gpu{g}/{stream}``) — the simulator half of
+        the unified timeline.  Timestamps are simulated seconds, so
+        they share the recorder's second-based schema with wall-clock
+        spans.
+        """
+        for op, (start, end) in self.spans.items():
+            ob.record_span(
+                op.label or op.kind, CAT_SIM, start, end - start,
+                track=f"{prefix}/gpu{op.gpu}/{op.stream}",
+                args={"kind": op.kind, "work": op.work})
+        ob.registry.histogram(f"{prefix}.makespan").observe(self.makespan)
+        ob.count(f"{prefix}.ops", len(self.spans))
+
     def stream_busy_time(self, gpu: int, stream: str) -> float:
         """Total wall time during which a stream had an op running."""
         intervals = sorted(
@@ -237,4 +254,8 @@ def simulate(schedule: Schedule,
             for other in schedule.ops:
                 pending_deps[other].discard(op)
 
-    return SimResult(makespan=now, spans=spans)
+    result = SimResult(makespan=now, spans=spans)
+    ob = get_observer()
+    if ob is not None:
+        result.record_trace(ob)
+    return result

@@ -16,6 +16,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import CAT_COLLECTIVE
+from repro.obs import span as _span
+
 __all__ = [
     "all_to_all_linear",
     "stride_memcpy",
@@ -51,7 +54,9 @@ def all_to_all_linear(inputs: list[np.ndarray]) -> list[np.ndarray]:
         if arr.shape[0] != n:
             raise ValueError(
                 f"rank {r} input leading dim {arr.shape[0]} != world {n}")
-    return [np.stack([inputs[s][r] for s in range(n)]) for r in range(n)]
+    with _span("all_to_all_linear", CAT_COLLECTIVE):
+        return [np.stack([inputs[s][r] for s in range(n)])
+                for r in range(n)]
 
 
 def stride_memcpy(buf: np.ndarray, row: int, col: int) -> np.ndarray:
@@ -119,17 +124,18 @@ def all_to_all_2dh_phases(
     nnodes = n // gpus_per_node
     m = gpus_per_node
 
-    phases = [list(inputs)]
-    # Phase 1: align chunks sharing the same destination local rank.
-    p1 = [stride_memcpy(b, row=m, col=nnodes) for b in phases[-1]]
-    phases.append(p1)
-    # Phase 2: intra-node All-to-All of nnodes-chunk blocks.
-    phases.append(_intra_node_exchange(p1, m, block=nnodes))
-    # Phase 3: align chunks sharing the same destination node.
-    p3 = [stride_memcpy(b, row=nnodes, col=m) for b in phases[-1]]
-    phases.append(p3)
-    # Phase 4: inter-node All-to-All of m-chunk blocks.
-    phases.append(_inter_node_exchange(p3, m, block=m))
+    with _span("all_to_all_2dh", CAT_COLLECTIVE):
+        phases = [list(inputs)]
+        # Phase 1: align chunks sharing the same destination local rank.
+        p1 = [stride_memcpy(b, row=m, col=nnodes) for b in phases[-1]]
+        phases.append(p1)
+        # Phase 2: intra-node All-to-All of nnodes-chunk blocks.
+        phases.append(_intra_node_exchange(p1, m, block=nnodes))
+        # Phase 3: align chunks sharing the same destination node.
+        p3 = [stride_memcpy(b, row=nnodes, col=m) for b in phases[-1]]
+        phases.append(p3)
+        # Phase 4: inter-node All-to-All of m-chunk blocks.
+        phases.append(_inter_node_exchange(p3, m, block=m))
     return phases
 
 
@@ -169,6 +175,14 @@ def all_to_all_3dh(inputs: list[np.ndarray], gpus_per_node: int,
             f"input leading dim {inputs[0].shape[0]} != world {n}")
     chunk_shape = inputs[0].shape[1:]
 
+    with _span("all_to_all_3dh", CAT_COLLECTIVE):
+        return _all_to_all_3dh_body(inputs, gpus_per_node, n, group,
+                                    ngroups, chunk_shape)
+
+
+def _all_to_all_3dh_body(inputs: list[np.ndarray], gpus_per_node: int,
+                         n: int, group: int, ngroups: int,
+                         chunk_shape: tuple) -> list[np.ndarray]:
     # Phase 1: align chunks by destination position-within-group.
     p1 = [stride_memcpy(b, row=group, col=ngroups) for b in inputs]
     # Phase 2: intra-group All-to-All of ngroups-chunk blocks,
@@ -215,17 +229,19 @@ def flexible_all_to_all(inputs: list[np.ndarray], concat_dim: int,
         raise ValueError(
             f"dimension {split_dim} of size {inputs[0].shape[split_dim]} "
             f"is not divisible by world size {n}")
-    split_parts = [np.split(arr, n, axis=split_dim) for arr in inputs]
-    return [np.concatenate([split_parts[s][r] for s in range(n)],
-                           axis=concat_dim)
-            for r in range(n)]
+    with _span("flexible_all_to_all", CAT_COLLECTIVE):
+        split_parts = [np.split(arr, n, axis=split_dim) for arr in inputs]
+        return [np.concatenate([split_parts[s][r] for s in range(n)],
+                               axis=concat_dim)
+                for r in range(n)]
 
 
 def all_gather(inputs: list[np.ndarray]) -> list[np.ndarray]:
     """Each rank receives the concatenation of every rank's shard."""
     _check_world(inputs)
-    gathered = np.concatenate(inputs, axis=0)
-    return [gathered.copy() for _ in inputs]
+    with _span("all_gather", CAT_COLLECTIVE):
+        gathered = np.concatenate(inputs, axis=0)
+        return [gathered.copy() for _ in inputs]
 
 
 def reduce_scatter(inputs: list[np.ndarray]) -> list[np.ndarray]:
@@ -234,12 +250,14 @@ def reduce_scatter(inputs: list[np.ndarray]) -> list[np.ndarray]:
     if inputs[0].shape[0] % n != 0:
         raise ValueError(
             f"leading dim {inputs[0].shape[0]} not divisible by world {n}")
-    total = np.sum(np.stack(inputs), axis=0)
-    return list(np.split(total, n, axis=0))
+    with _span("reduce_scatter", CAT_COLLECTIVE):
+        total = np.sum(np.stack(inputs), axis=0)
+        return list(np.split(total, n, axis=0))
 
 
 def all_reduce(inputs: list[np.ndarray]) -> list[np.ndarray]:
     """Every rank receives the elementwise sum across ranks."""
     _check_world(inputs)
-    total = np.sum(np.stack(inputs), axis=0)
-    return [total.copy() for _ in inputs]
+    with _span("all_reduce", CAT_COLLECTIVE):
+        total = np.sum(np.stack(inputs), axis=0)
+        return [total.copy() for _ in inputs]

@@ -30,6 +30,7 @@ __all__ = [
     "top_k_routing",
     "load_balance_loss",
     "compute_locations",
+    "compute_locations_reference",
 ]
 
 _MIN_TEMPERATURE = 0.01
@@ -118,8 +119,17 @@ class RoutingCriteria:
     num_experts: int
 
     def __post_init__(self) -> None:
-        if self.idxs.shape != self.locations.shape != self.gates.shape:
-            raise ValueError("idxs, locations, gates must share a shape")
+        # Two explicit checks: a chained `a != b != c` comparison skips
+        # the a-vs-c case whenever a == b, letting a mis-shaped `gates`
+        # slip through validation.
+        if self.idxs.shape != self.locations.shape:
+            raise ValueError(
+                f"idxs shape {self.idxs.shape} != locations shape "
+                f"{self.locations.shape}")
+        if self.idxs.shape != self.gates.shape:
+            raise ValueError(
+                f"idxs shape {self.idxs.shape} != gates shape "
+                f"{self.gates.shape}")
         if self.idxs.ndim != 2:
             raise ValueError("routing arrays must be (k, T)")
         if self.capacity < 1:
@@ -142,10 +152,14 @@ class RoutingCriteria:
 
     def dropped_fraction(self) -> float:
         """Fraction of (token, slot) routes dropped by the capacity."""
+        if self.locations.size == 0:
+            return 0.0  # an empty batch drops nothing
         return 1.0 - float(self.valid.mean())
 
     def max_needed_capacity(self) -> int:
         """Smallest ``dC`` that would drop nothing for this routing."""
+        if self.locations.size == 0:
+            return 1  # the smallest legal capacity suffices
         return int(self.locations.max()) + 1
 
 
@@ -172,6 +186,44 @@ def compute_locations(idxs: np.ndarray, num_experts: int,
     -------
     np.ndarray
         ``(k, T)`` int array of queue positions.
+    """
+    k, t = idxs.shape
+    if priority is not None and priority.shape != (t,):
+        raise ValueError(
+            f"priority must have shape ({t},), got {priority.shape}")
+    order = (np.argsort(-priority, kind="stable") if priority is not None
+             else None)
+
+    # Service order is slot-major with tokens in (priority or batch)
+    # order inside each slot; a single stable sort of the flattened
+    # expert assignments then yields every route's queue position as
+    # its rank within its expert's run — O(k*T*log(k*T)) with no
+    # (T, E) one-hot or cumsum temporaries.
+    routes = idxs if order is None else idxs[:, order]
+    flat = routes.reshape(-1)
+    perm = np.argsort(flat, kind="stable")
+    sorted_experts = flat[perm]
+    run_start = np.searchsorted(sorted_experts, sorted_experts,
+                                side="left")
+    ranks = np.empty(flat.shape[0], dtype=np.int64)
+    ranks[perm] = np.arange(flat.shape[0], dtype=np.int64) - run_start
+    locations = ranks.reshape(k, t)
+    if order is not None:
+        inverse = np.empty_like(order)
+        inverse[order] = np.arange(t)
+        locations = locations[:, inverse]
+    return locations
+
+
+def compute_locations_reference(idxs: np.ndarray, num_experts: int,
+                                priority: np.ndarray | None = None
+                                ) -> np.ndarray:
+    """Reference (pre-rewrite) :func:`compute_locations`.
+
+    Materializes a ``(T, E)`` one-hot and a full cumsum per top-k slot
+    in a Python loop — kept as the independent oracle the rewrite is
+    tested and benchmarked against (see ``tests/test_gating.py`` and
+    ``repro obs``).
     """
     k, t = idxs.shape
     if priority is not None and priority.shape != (t,):
@@ -247,9 +299,13 @@ def load_balance_loss(gate_probs: np.ndarray,
     """GShard auxiliary load-balancing loss.
 
     ``l_aux = E * sum_e mean_prob(e) * routed_fraction(e)`` using the
-    top-1 assignments; equals 1.0 under perfectly uniform routing.
+    top-1 assignments; equals 1.0 under perfectly uniform routing.  An
+    empty token batch contributes no balance penalty (0.0) rather than
+    the NaN a ``counts / 0`` division would produce.
     """
     t, e = gate_probs.shape
+    if t == 0:
+        return 0.0
     top1 = idxs[0] if idxs.ndim == 2 else idxs
     counts = np.bincount(top1, minlength=e).astype(np.float64)
     routed_fraction = counts / t

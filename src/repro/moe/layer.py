@@ -23,6 +23,9 @@ from repro.moe.gating import (
     softmax,
     top_k_routing,
 )
+from repro.moe.metrics import routing_stats
+from repro.obs import CAT_MOE, get_observer
+from repro.obs import span as _span
 
 __all__ = [
     "ExpertParams",
@@ -192,23 +195,32 @@ def moe_layer_forward(x: np.ndarray, params: MoELayerParams,
     k = top_k if top_k is not None else params.top_k
     policy = capacity if capacity is not None else params.capacity
 
-    logits = _gate_logits(x, params)
-    probs = softmax(logits)
-    # Pre-routing pass at unlimited capacity to discover the needed
-    # queue lengths, then the policy decides the actual capacity.
-    idxs_probe = np.argsort(-probs, axis=1, kind="stable")[:, :k].T
-    cap, eff_f = resolve_capacity(policy, idxs_probe,
-                                  params.experts.num_experts,
-                                  tokens=x.shape[0], top_k=k)
-    crit = top_k_routing(probs, k, cap,
-                         normalize_gate=params.normalize_gate,
-                         batch_prioritized=params.batch_prioritized)
-    l_aux = load_balance_loss(probs, crit.idxs)
+    with _span("gate", CAT_MOE):
+        logits = _gate_logits(x, params)
+        probs = softmax(logits)
+        # Pre-routing pass at unlimited capacity to discover the needed
+        # queue lengths, then the policy decides the actual capacity.
+        idxs_probe = np.argsort(-probs, axis=1, kind="stable")[:, :k].T
+        cap, eff_f = resolve_capacity(policy, idxs_probe,
+                                      params.experts.num_experts,
+                                      tokens=x.shape[0], top_k=k)
+        crit = top_k_routing(probs, k, cap,
+                             normalize_gate=params.normalize_gate,
+                             batch_prioritized=params.batch_prioritized)
+        l_aux = load_balance_loss(probs, crit.idxs)
 
     encode = fast_encode if params.use_fast_encode else dense_encode
     decode = fast_decode if params.use_fast_encode else dense_decode
-    dispatched = encode(x, crit)
-    expert_out = expert_ffn(dispatched, params.experts, params.activation)
-    output = decode(expert_out, crit)
+    with _span("encode", CAT_MOE):
+        dispatched = encode(x, crit)
+    with _span("expert_ffn", CAT_MOE):
+        expert_out = expert_ffn(dispatched, params.experts,
+                                params.activation)
+    with _span("decode", CAT_MOE):
+        output = decode(expert_out, crit)
+
+    ob = get_observer()
+    if ob is not None:
+        ob.record_routing(routing_stats(crit, probs))
     return MoEOutput(output=output, l_aux=l_aux, crit=crit,
                      effective_capacity_factor=eff_f)

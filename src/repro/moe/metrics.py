@@ -103,11 +103,14 @@ def routing_stats(crit: RoutingCriteria,
     confidence — the priority signal batch prioritized routing sorts
     by; without it the selected-slot gates are used instead.
     """
-    if gate_probs is not None:
-        if gate_probs.shape != (crit.num_tokens, crit.num_experts):
-            raise ValueError(
-                f"gate_probs must be (T={crit.num_tokens}, "
-                f"E={crit.num_experts}), got {gate_probs.shape}")
+    if gate_probs is not None and gate_probs.shape != (
+            crit.num_tokens, crit.num_experts):
+        raise ValueError(
+            f"gate_probs must be (T={crit.num_tokens}, "
+            f"E={crit.num_experts}), got {gate_probs.shape}")
+    if crit.num_tokens == 0:
+        confidence = 0.0  # .mean() over zero tokens would be NaN
+    elif gate_probs is not None:
         confidence = float(gate_probs.max(axis=1).mean())
     else:
         confidence = float(crit.gates.max(axis=0).mean())

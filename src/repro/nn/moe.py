@@ -22,7 +22,10 @@ from repro.autograd.moe_ops import (
 from repro.autograd.tensor import Tensor
 from repro.moe.capacity import CapacityPolicy, resolve_capacity
 from repro.moe.gating import RoutingCriteria, compute_locations
+from repro.moe.metrics import routing_stats
 from repro.nn.modules import Linear, Module
+from repro.obs import CAT_MOE, get_observer
+from repro.obs import span as _span
 
 __all__ = ["MoE"]
 
@@ -124,43 +127,55 @@ class MoE(Module):
                   if capacity_factor is not None else self.capacity_policy)
         t = x.shape[0]
 
-        logits = self._gate_logits(x)
-        probs = softmax(logits, axis=1)
+        with _span("gate", CAT_MOE):
+            logits = self._gate_logits(x)
+            probs = softmax(logits, axis=1)
 
-        # Discrete routing decisions (outside the tape).
-        order = np.argsort(-probs.data, axis=1, kind="stable")[:, :k]
-        idxs = order.T.copy()
-        from repro.moe.capacity import needed_capacity_factor
-        self.last_needed_capacity_factor = needed_capacity_factor(
-            idxs, self.num_experts, t)
-        cap, eff_f = resolve_capacity(policy, idxs, self.num_experts,
-                                      tokens=t, top_k=k)
-        self.last_effective_capacity_factor = eff_f
-        priority = probs.data.max(axis=1) if self.batch_prioritized else None
-        locations = compute_locations(idxs, self.num_experts,
-                                      priority=priority)
-        crit = RoutingCriteria(idxs=idxs, locations=locations,
-                               gates=np.zeros_like(idxs, dtype=np.float64),
-                               capacity=cap, num_experts=self.num_experts)
-        self.last_dropped_fraction = 1.0 - float(crit.valid.mean())
+            # Discrete routing decisions (outside the tape).
+            order = np.argsort(-probs.data, axis=1, kind="stable")[:, :k]
+            idxs = order.T.copy()
+            from repro.moe.capacity import needed_capacity_factor
+            self.last_needed_capacity_factor = needed_capacity_factor(
+                idxs, self.num_experts, t)
+            cap, eff_f = resolve_capacity(policy, idxs, self.num_experts,
+                                          tokens=t, top_k=k)
+            self.last_effective_capacity_factor = eff_f
+            priority = (probs.data.max(axis=1)
+                        if self.batch_prioritized else None)
+            locations = compute_locations(idxs, self.num_experts,
+                                          priority=priority)
+            crit = RoutingCriteria(
+                idxs=idxs, locations=locations,
+                gates=np.zeros_like(idxs, dtype=np.float64),
+                capacity=cap, num_experts=self.num_experts)
+            self.last_dropped_fraction = crit.dropped_fraction()
 
-        # Differentiable gate values of the selected slots, (k, T).
-        # Normalization only applies for k > 1 (GShard); with k == 1 the
-        # raw probability scales the expert output (Switch-style), which
-        # is the path the router's gradient flows through.
-        selected = take_along(probs, order, axis=1).T
-        if self.normalize_gate and k > 1:
-            selected = selected / (selected.sum(axis=0, keepdims=True)
-                                   + 1e-12)
-        # Mark the selected routes live so the sparse kernels keep them;
-        # real values come from the `selected` tensor at combine time.
-        crit.gates = np.where(crit.valid, 1.0, 0.0)
+            # Differentiable gate values of the selected slots, (k, T).
+            # Normalization only applies for k > 1 (GShard); with k == 1
+            # the raw probability scales the expert output
+            # (Switch-style), which is the path the router's gradient
+            # flows through.
+            selected = take_along(probs, order, axis=1).T
+            if self.normalize_gate and k > 1:
+                selected = selected / (selected.sum(axis=0, keepdims=True)
+                                       + 1e-12)
+            # Mark the selected routes live so the sparse kernels keep
+            # them; real values come from `selected` at combine time.
+            crit.gates = np.where(crit.valid, 1.0, 0.0)
 
-        dispatched = moe_dispatch(x, crit)
-        hidden = batched_expert_ffn_input(dispatched, self.w1)
-        hidden = gelu(hidden) if self.activation == "gelu" else relu(hidden)
-        expert_out = batched_expert_ffn_input(hidden, self.w2)
-        output = moe_combine(expert_out, selected, crit)
+        ob = get_observer()
+        if ob is not None:
+            ob.record_routing(routing_stats(crit, probs.data))
+
+        with _span("encode", CAT_MOE):
+            dispatched = moe_dispatch(x, crit)
+        with _span("expert_ffn", CAT_MOE):
+            hidden = batched_expert_ffn_input(dispatched, self.w1)
+            hidden = (gelu(hidden) if self.activation == "gelu"
+                      else relu(hidden))
+            expert_out = batched_expert_ffn_input(hidden, self.w2)
+        with _span("decode", CAT_MOE):
+            output = moe_combine(expert_out, selected, crit)
 
         # GShard auxiliary loss: E * sum_e mean_prob(e) * routed_frac(e).
         counts = np.bincount(idxs[0], minlength=self.num_experts)

@@ -1,0 +1,141 @@
+"""Process-wide metrics: counters, gauges, and histogram timers.
+
+The quantitative half of :mod:`repro.obs`.  A :class:`MetricsRegistry`
+owns named instruments created on first use:
+
+* :class:`Counter` — monotonically increasing totals (steps run,
+  tokens dropped, buckets rebuilt);
+* :class:`Gauge` — last-written values (current loss, current needed
+  capacity factor);
+* :class:`Histogram` — accumulated distributions, the backing store of
+  every ``span(...)`` / ``@timed`` measurement (count / total / min /
+  max / mean, in seconds for timers).
+
+Instruments are plain attribute-update objects — no locks, no label
+cartesian products — because the substrate is single-process NumPy and
+the hot path must stay cheap even when observability is enabled.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, "
+                             f"got {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A last-write-wins value."""
+
+    name: str
+    value: float = 0.0
+    updates: int = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updates += 1
+
+
+@dataclass
+class Histogram:
+    """A streaming distribution summary (no bucket boundaries needed).
+
+    Timers observe durations in seconds; anything else can observe any
+    non-negative or negative float — only summary statistics are kept,
+    so memory stays O(1) per instrument regardless of observation
+    count.
+    """
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+@dataclass
+class MetricsRegistry:
+    """Create-on-first-use registry of named instruments."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        inst = self.counters.get(name)
+        if inst is None:
+            inst = self.counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self.gauges.get(name)
+        if inst is None:
+            inst = self.gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self.histograms.get(name)
+        if inst is None:
+            inst = self.histograms[name] = Histogram(name)
+        return inst
+
+    def snapshot(self) -> dict[str, dict]:
+        """Plain-dict dump of every instrument (JSON-serializable)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {n: h.summary()
+                           for n, h in sorted(self.histograms.items())},
+        }
+
+    def render(self) -> str:
+        """Aligned text summary for CLI / bench output."""
+        lines = ["== metrics =="]
+        for name, c in sorted(self.counters.items()):
+            lines.append(f"  counter    {name:40s} {c.value:g}")
+        for name, g in sorted(self.gauges.items()):
+            lines.append(f"  gauge      {name:40s} {g.value:g}")
+        for name, h in sorted(self.histograms.items()):
+            if not h.count:
+                continue
+            lines.append(
+                f"  histogram  {name:40s} n={h.count} "
+                f"mean={h.mean:.3e} min={h.min:.3e} max={h.max:.3e} "
+                f"total={h.total:.3e}")
+        return "\n".join(lines)

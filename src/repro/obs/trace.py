@@ -1,0 +1,172 @@
+"""Structured trace events with Chrome-trace and JSONL export.
+
+The qualitative half of :mod:`repro.obs`.  A :class:`TraceRecorder`
+accumulates typed :class:`TraceEvent` records — complete spans
+(``ph="X"``) and instant markers (``ph="i"``) — on named *tracks*.
+Tracks unify the two substrates: wall-clock spans from the functional
+NumPy side land on tracks like ``"main"`` while simulated-clock spans
+from :mod:`repro.cluster.simulator` land on ``"sim/gpu0/compute"`` /
+``"sim/gpu0/comm"`` — one schema, one file, one timeline viewer.
+
+Export targets:
+
+* **Chrome trace JSON** (:meth:`TraceRecorder.to_chrome_trace`) —
+  loadable in ``chrome://tracing`` or https://ui.perfetto.dev; tracks
+  become named threads via ``thread_name`` metadata events, and
+  timestamps are converted from seconds to the format's microseconds.
+* **JSONL** (:meth:`TraceRecorder.dumps_jsonl`) — one event object per
+  line, for ad-hoc ``jq``/pandas analysis.
+
+Event categories used across the codebase are the ``CAT_*`` constants
+below; they mirror the paper's cost decomposition (Figure 23: gate,
+encode, All-to-All, expert FFN, decode) plus the adaptive-runtime and
+training layers above it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "TraceEvent",
+    "TraceRecorder",
+    "CAT_MOE",
+    "CAT_TRAIN",
+    "CAT_COLLECTIVE",
+    "CAT_PIPELINE",
+    "CAT_SIM",
+    "CAT_BENCH",
+]
+
+# Event categories (the Chrome-trace ``cat`` field).
+CAT_MOE = "moe"                # gate / encode / expert_ffn / decode spans
+CAT_TRAIN = "train"            # per-step training spans
+CAT_COLLECTIVE = "collective"  # all-to-all / allreduce family
+CAT_PIPELINE = "pipeline"      # strategy-search exploration events
+CAT_SIM = "sim"                # simulated-clock op spans
+CAT_BENCH = "bench"            # explicit benchmark timers
+
+_MICRO = 1e6
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One typed event.
+
+    ``ts``/``dur`` are in *seconds* on the recorder's timeline (wall
+    clock since recorder start, or simulated time); export converts to
+    the microseconds Chrome expects.  ``phase`` is ``"X"`` for a
+    complete span and ``"i"`` for an instant marker (``dur`` 0).
+    """
+
+    name: str
+    cat: str
+    ts: float
+    dur: float = 0.0
+    track: str = "main"
+    phase: str = "X"
+    args: dict = field(default_factory=dict)
+
+    def to_chrome(self, tid: int, pid: int = 0) -> dict:
+        event = {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": self.phase,
+            "ts": self.ts * _MICRO,
+            "pid": pid,
+            "tid": tid,
+        }
+        if self.phase == "X":
+            event["dur"] = self.dur * _MICRO
+        else:
+            event["s"] = "t"  # instant scope: thread
+        if self.args:
+            event["args"] = dict(self.args)
+        return event
+
+    def to_json_obj(self) -> dict:
+        return {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": self.phase,
+            "ts": self.ts,
+            "dur": self.dur,
+            "track": self.track,
+            "args": dict(self.args),
+        }
+
+
+class TraceRecorder:
+    """Append-only event sink with bounded growth.
+
+    ``max_events`` caps memory for long sweeps; past it, events are
+    counted in :attr:`dropped` instead of stored (the metrics registry
+    keeps aggregating regardless).
+    """
+
+    def __init__(self, max_events: int = 1_000_000) -> None:
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = max_events
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def record(self, event: TraceEvent) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def span(self, name: str, cat: str, ts: float, dur: float,
+             track: str = "main", args: dict | None = None) -> None:
+        """Record one complete span (``ph="X"``)."""
+        self.record(TraceEvent(name=name, cat=cat, ts=ts, dur=dur,
+                               track=track, args=args or {}))
+
+    def instant(self, name: str, cat: str, ts: float,
+                track: str = "main", args: dict | None = None) -> None:
+        """Record one instant marker (``ph="i"``)."""
+        self.record(TraceEvent(name=name, cat=cat, ts=ts, track=track,
+                               phase="i", args=args or {}))
+
+    # -- export --------------------------------------------------------
+
+    def tracks(self) -> list[str]:
+        """Track names in first-appearance order."""
+        seen: dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event.track, None)
+        return list(seen)
+
+    def to_chrome_trace(self) -> dict:
+        """The ``chrome://tracing`` JSON object (dict form)."""
+        tids = {track: i for i, track in enumerate(self.tracks())}
+        trace_events: list[dict] = [
+            {"name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+             "args": {"name": track}}
+            for track, tid in tids.items()
+        ]
+        trace_events.extend(
+            event.to_chrome(tid=tids[event.track])
+            for event in self.events)
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def dumps_chrome_trace(self) -> str:
+        return json.dumps(self.to_chrome_trace())
+
+    def dump_chrome_trace(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.dumps_chrome_trace())
+
+    def dumps_jsonl(self) -> str:
+        return "\n".join(json.dumps(e.to_json_obj()) for e in self.events)
+
+    def dump_jsonl(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.dumps_jsonl())
+            if self.events:
+                fh.write("\n")

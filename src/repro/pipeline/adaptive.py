@@ -21,6 +21,7 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.obs import CAT_PIPELINE, get_observer
 from repro.pipeline.schedule import PipelineStrategy, all_strategies
 
 __all__ = [
@@ -97,6 +98,11 @@ class OnlinePipeliningSearch:
             current.members.append(f)
             for strategy, elapsed in self.per_factor.get(f, {}).items():
                 current.record(strategy, f, elapsed)
+        ob = get_observer()
+        if ob is not None:
+            ob.count("pipeline.bucket_rebuilds")
+            ob.gauge("pipeline.num_buckets", len(self.buckets))
+            ob.gauge("pipeline.known_factors", len(self.known_factors))
 
     def _bucket_of(self, f: float) -> Bucket:
         """Binary search for the bucket containing ``f``."""
@@ -126,9 +132,20 @@ class OnlinePipeliningSearch:
         if len(tried_here) == len(self.strategies):
             return min(tried_here, key=tried_here.__getitem__)
         bucket = self._bucket_of(f)
+        ob = get_observer()
         for strategy in self.strategies:
             if strategy not in bucket.tried:
+                # Bucket exploration: this factor's bucket still has
+                # untried strategies, so the step pays a measurement.
+                if ob is not None:
+                    ob.instant("explore", CAT_PIPELINE, args={
+                        "f": f, "bucket_low": bucket.low,
+                        "strategy": strategy.describe(),
+                        "remaining": (len(self.strategies)
+                                      - len(bucket.tried))})
                 return strategy
+        if ob is not None:
+            ob.count("pipeline.bucket_hits")
         return bucket.best_strategy()
 
     def optimize_strategy(self, capacity_factor: float,
@@ -144,6 +161,11 @@ class OnlinePipeliningSearch:
         if strategy not in memo or measured_time < memo[strategy]:
             memo[strategy] = measured_time
         self._bucket_of(f).record(strategy, f, measured_time)
+        ob = get_observer()
+        if ob is not None:
+            ob.count("pipeline.measurements")
+            ob.registry.histogram(
+                "pipeline.measured_time").observe(measured_time)
 
     def step(self, capacity_factor: float,
              measure: Callable[[PipelineStrategy], float]

@@ -13,6 +13,8 @@ from repro.autograd.optim import Adam, clip_grad_norm
 from repro.autograd.tensor import Tensor
 from repro.nn.models import MoEClassifier
 from repro.nn.modules import Module
+from repro.obs import CAT_TRAIN, get_observer
+from repro.obs import span as _span
 from repro.train.data import TokenBatch
 from repro.train.schedules import apply_sparsity_schedules
 
@@ -78,27 +80,44 @@ def train_model(model: Module, train: TokenBatch, test: TokenBatch,
 
     n = len(train)
     for step in range(steps):
-        if top_k_schedule is not None or capacity_schedule is not None:
-            apply_sparsity_schedules(model, step,
-                                     top_k=top_k_schedule,
-                                     capacity_factor=capacity_schedule)
-        idx = rng.integers(0, n, min(batch_size, n))
-        xb, yb = train.x[idx], train.y[idx]
-        logits, l_aux = model(Tensor(xb))
-        loss = cross_entropy(logits, yb) + l_aux * aux_weight
-        optimizer.zero_grad()
-        loss.backward()
-        clip_grad_norm(params, grad_clip)
-        optimizer.step()
+        # Step boundary first so every instrumented MoE layer's
+        # RoutingStats lands under the right step in the obs history.
+        ob = get_observer()
+        if ob is not None:
+            ob.begin_step(step)
+        with _span("step", CAT_TRAIN):
+            if top_k_schedule is not None or capacity_schedule is not None:
+                apply_sparsity_schedules(model, step,
+                                         top_k=top_k_schedule,
+                                         capacity_factor=capacity_schedule)
+            idx = rng.integers(0, n, min(batch_size, n))
+            xb, yb = train.x[idx], train.y[idx]
+            with _span("forward", CAT_TRAIN):
+                logits, l_aux = model(Tensor(xb))
+                loss = cross_entropy(logits, yb) + l_aux * aux_weight
+            with _span("backward", CAT_TRAIN):
+                optimizer.zero_grad()
+                loss.backward()
+            with _span("optimizer", CAT_TRAIN):
+                clip_grad_norm(params, grad_clip)
+                optimizer.step()
 
         result.losses.append(float(loss.data))
         result.train_accuracies.append(_accuracy(logits.data, yb))
+        if ob is not None:
+            ob.count("train.steps")
+            ob.gauge("train.loss", float(loss.data))
         for i, layer in enumerate(moe_layers):
             if layer.last_needed_capacity_factor is not None:
                 result.capacity_traces[i].append(
                     layer.last_needed_capacity_factor)
 
     result.final_train_loss = float(np.mean(result.losses[-20:]))
+    ob = get_observer()
+    if ob is not None:
+        # Mark the held-out forward so its routing records don't get
+        # attributed to the last training step (step -1 = evaluation).
+        ob.begin_step(-1)
     result.eval_accuracy = evaluate(model, test)
     return result
 

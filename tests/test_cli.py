@@ -50,3 +50,25 @@ class TestCommands:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestObsCommand:
+    def test_obs_writes_valid_trace(self, tmp_path, capsys):
+        import json
+
+        from repro import obs as obs_module
+
+        trace = tmp_path / "trace.json"
+        jsonl = tmp_path / "events.jsonl"
+        assert main(["obs", "--trace", str(trace), "--jsonl", str(jsonl),
+                     "--steps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "compute_locations rewrite" in out
+        assert "routing history" in out
+
+        parsed = json.loads(trace.read_text())
+        names = {e["name"] for e in parsed["traceEvents"]}
+        assert {"gate", "encode", "expert_ffn", "decode", "step"} <= names
+        assert jsonl.read_text().strip()
+        # The command must clean up the process-wide observer.
+        assert obs_module.get_observer() is None

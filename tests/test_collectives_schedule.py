@@ -16,7 +16,7 @@ from repro.collectives.schedule import (
     reduce_scatter_time,
     twodh_a2a_time,
 )
-from repro.core.units import KIB, MIB
+from repro.core.units import MIB
 
 
 class TestLinearA2ATime:

@@ -171,3 +171,68 @@ class TestShapeValidation:
             fast_decode(z[:-1], crit)
         with pytest.raises(ValueError):
             dense_decode(z[:, :-1], crit)
+
+
+class TestZeroGateAndDropAgreement:
+    """Dense/fast agreement on the awkward cases: a *valid* slot whose
+    gate is exactly 0.0 (both paths must skip it) and tokens dropped at
+    every slot (their decode row must be exactly zero), across dtypes.
+    """
+
+    @staticmethod
+    def _crit_with_zero_gates_and_drops(seed, t, e, k, cap):
+        rng = np.random.default_rng(seed)
+        probs = softmax(rng.normal(size=(t, e)))
+        crit = top_k_routing(probs, k, capacity=cap)
+        # Zero the gate of one random *valid* slot per sampled token.
+        valid_slots, valid_tokens = np.nonzero(crit.valid)
+        if len(valid_tokens):
+            pick = rng.integers(0, len(valid_tokens),
+                                max(1, len(valid_tokens) // 4))
+            crit.gates[valid_slots[pick], valid_tokens[pick]] = 0.0
+        # Fully drop a random subset of tokens (all slots invalid).
+        dropped = rng.random(t) < 0.25
+        crit.locations[:, dropped] = crit.capacity
+        crit.gates[:, dropped] = 0.0
+        return rng, crit, dropped
+
+    @given(seed=st.integers(0, 300), t=st.integers(1, 32),
+           e=st.integers(2, 8), k=st.integers(1, 3),
+           cap=st.integers(1, 8),
+           dtype=st.sampled_from([np.float32, np.float64]))
+    @settings(max_examples=60, deadline=None)
+    def test_encode_decode_agree(self, seed, t, e, k, cap, dtype):
+        k = min(k, e)
+        rng, crit, dropped = self._crit_with_zero_gates_and_drops(
+            seed, t, e, k, cap)
+        m = 5
+        x = rng.normal(size=(t, m)).astype(dtype)
+        z = rng.normal(size=(e, crit.capacity, m)).astype(dtype)
+        tol = dict(rtol=1e-5, atol=1e-6) if dtype == np.float32 \
+            else dict(rtol=1e-12, atol=1e-14)
+
+        enc_fast = fast_encode(x, crit)
+        enc_dense = dense_encode(x, crit)
+        assert enc_fast.dtype == enc_dense.dtype == dtype
+        np.testing.assert_allclose(enc_fast, enc_dense, **tol)
+
+        dec_fast = fast_decode(z, crit)
+        dec_dense = dense_decode(z, crit)
+        assert dec_fast.dtype == dec_dense.dtype == dtype
+        np.testing.assert_allclose(dec_fast, dec_dense, **tol)
+
+        # Fully-dropped tokens contribute nothing and receive nothing.
+        np.testing.assert_array_equal(dec_fast[dropped],
+                                      np.zeros((dropped.sum(), m), dtype))
+
+    def test_zero_gate_valid_slot_not_dispatched(self):
+        # One token, one expert, gate exactly 0.0 on a valid slot: the
+        # fast path must not scatter it (gates != 0 filter) and the
+        # dense mask (combine > 0) must agree.
+        crit = top_k_routing(np.array([[1.0]]), 1, capacity=1)
+        crit.gates[0, 0] = 0.0
+        x = np.ones((1, 3))
+        np.testing.assert_array_equal(fast_encode(x, crit),
+                                      np.zeros((1, 1, 3)))
+        np.testing.assert_array_equal(dense_encode(x, crit),
+                                      np.zeros((1, 1, 3)))

@@ -1,7 +1,6 @@
 """Cross-module integration tests: whole data paths end to end."""
 
 import numpy as np
-import pytest
 
 from repro.cluster.topology import ndv4_topology
 from repro.collectives.functional import (
@@ -62,7 +61,6 @@ class TestPipelinedDistributedLayer:
         # along the capacity dimension, as adaptive pipelining does.
         from repro.collectives.functional import flexible_all_to_all
         from repro.moe.encode import fast_decode
-        from repro.moe.gating import load_balance_loss
 
         crits, dispatch = [], []
         for x in xs:

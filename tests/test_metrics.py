@@ -102,3 +102,33 @@ class TestRoutingStats:
         crit = balanced_crit()
         with pytest.raises(ValueError):
             routing_stats(crit, gate_probs=np.zeros((3, 3)))
+
+
+class TestEmptyBatchStats:
+    def _empty_crit(self, e=4, k=2):
+        return top_k_routing(np.zeros((0, e)), top_k=k, capacity=4)
+
+    def test_routing_stats_defined_for_zero_tokens(self):
+        crit = self._empty_crit()
+        with np.errstate(all="raise"):
+            stats = routing_stats(crit)
+        assert stats.num_tokens == 0
+        assert stats.dropped_fraction == 0.0
+        assert stats.load_imbalance == 1.0
+        assert stats.routing_entropy == 0.0
+        assert stats.needed_capacity == 1
+        assert stats.mean_top1_confidence == 0.0
+
+    def test_routing_stats_with_empty_gate_probs(self):
+        crit = self._empty_crit(e=4)
+        with np.errstate(all="raise"):
+            stats = routing_stats(crit, gate_probs=np.zeros((0, 4)))
+        assert stats.mean_top1_confidence == 0.0
+
+    def test_load_imbalance_zero_tokens(self):
+        with np.errstate(all="raise"):
+            assert load_imbalance(self._empty_crit()) == 1.0
+
+    def test_expert_load_zero_tokens(self):
+        load = expert_load(self._empty_crit(e=4))
+        np.testing.assert_array_equal(load, np.zeros(4, dtype=load.dtype))

@@ -94,7 +94,7 @@ class TestStreams:
 
     def test_fifo_order_respected(self):
         s = Schedule()
-        a = s.new_op(work=1.0, stream="comm", kind="comm", label="a")
+        s.new_op(work=1.0, stream="comm", kind="comm", label="a")
         blocker = s.new_op(work=5.0, gpu=1, kind="compute", label="blk")
         # b is queued first on comm but depends on the slow blocker;
         # c is behind b in FIFO and must wait even though it is ready.

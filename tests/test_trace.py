@@ -2,7 +2,7 @@
 
 import json
 
-from repro.cluster.simulator import Schedule, simulate
+from repro.cluster.simulator import simulate
 from repro.cluster.trace import save_chrome_trace, to_chrome_trace
 from repro.cluster.topology import ndv4_topology
 from repro.core.config import MoEConfig
