@@ -7,6 +7,7 @@ Usage::
     python -m repro bench all            # regenerate everything
     python -m repro info                 # library / substrate summary
     python -m repro obs                  # instrumented demo + Chrome trace
+    python -m repro chaos --seed 0       # fault-injection scenario
 
 Each bench is the same module pytest-benchmark runs; the CLI imports
 its ``run()`` and prints the full table.  Setting ``REPRO_TRACE=path``
@@ -227,6 +228,19 @@ def _cmd_obs(trace_path: str, jsonl_path: str | None, steps: int) -> None:
         obs.disable()
 
 
+def _cmd_chaos(seed: int, steps: int, num_gpus: int, smoke: bool,
+               checkpoint_dir: str | None, trace_path: str | None) -> None:
+    """Run the seeded chaos scenario on both substrates and report."""
+    from repro.resilience.chaos import run_chaos
+
+    report = run_chaos(seed=seed, steps=steps, num_gpus=num_gpus,
+                       smoke=smoke, checkpoint_dir=checkpoint_dir,
+                       trace_path=trace_path)
+    print(report.describe())
+    if trace_path:
+        print(f"[obs] wrote fault/recovery trace events to {trace_path}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -244,6 +258,20 @@ def main(argv: list[str] | None = None) -> int:
                          help="also dump raw events as JSONL")
     obs_cmd.add_argument("--steps", type=int, default=8,
                          help="training steps to record")
+    chaos_cmd = sub.add_parser(
+        "chaos", help="seeded fault-injection scenario on both substrates")
+    chaos_cmd.add_argument("--seed", type=int, default=0,
+                           help="fault-plan seed (default 0)")
+    chaos_cmd.add_argument("--steps", type=int, default=30,
+                           help="training steps of the functional half")
+    chaos_cmd.add_argument("--gpus", type=int, default=4,
+                           help="simulated GPUs in the chaos schedule")
+    chaos_cmd.add_argument("--smoke", action="store_true",
+                           help="small/fast variant (CI)")
+    chaos_cmd.add_argument("--checkpoint-dir", default=None,
+                           help="keep checkpoints here (default: tempdir)")
+    chaos_cmd.add_argument("--trace", default=None,
+                           help="dump fault/recovery events as JSONL")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -252,6 +280,9 @@ def main(argv: list[str] | None = None) -> int:
         _cmd_info()
     elif args.command == "obs":
         _cmd_obs(args.trace, args.jsonl, args.steps)
+    elif args.command == "chaos":
+        _cmd_chaos(args.seed, args.steps, args.gpus, args.smoke,
+                   args.checkpoint_dir, args.trace)
     elif args.command == "bench":
         if args.id == "all":
             for short in sorted(discover_benches()):

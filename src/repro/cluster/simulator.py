@@ -16,15 +16,28 @@ latencies themselves are computed analytically by
 :mod:`repro.collectives.schedule` — only one *representative* GPU needs
 simulating for symmetric collectives, which keeps 4,096-GPU sweeps
 instant.
+
+Fault awareness (``faults=`` argument): a
+:class:`repro.resilience.faults.FaultPlan` injects straggler slowdown
+windows, link-degradation windows, and op-failure instants into the
+run.  Rates are rescaled inside fault windows, and a failed op is
+*retried with timeout* — its progress is discarded and the full
+alpha-beta cost re-charged after the detection timeout — so
+makespan-under-faults is a measurable quantity.
 """
 
 from __future__ import annotations
 
 import itertools
 import math
+from collections import deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.obs import CAT_SIM, Observer, get_observer
+from repro.obs import CAT_FAULT, CAT_SIM, Observer, get_observer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.resilience.faults import FaultPlan
 
 __all__ = [
     "Op",
@@ -132,10 +145,13 @@ class Schedule:
 
 @dataclass
 class SimResult:
-    """Simulation outcome: makespan and per-op spans."""
+    """Simulation outcome: makespan, per-op spans, and fault tallies."""
 
     makespan: float
     spans: dict[Op, tuple[float, float]]
+    retries: dict[Op, int] = field(default_factory=dict)
+    faults_injected: int = 0
+    faults_recovered: int = 0
 
     def span(self, op: Op) -> tuple[float, float]:
         return self.spans[op]
@@ -148,10 +164,12 @@ class SimResult:
         spans.
         """
         for op, (start, end) in self.spans.items():
+            args = {"kind": op.kind, "work": op.work}
+            if op in self.retries:
+                args["retries"] = self.retries[op]
             ob.record_span(
                 op.label or op.kind, CAT_SIM, start, end - start,
-                track=f"{prefix}/gpu{op.gpu}/{op.stream}",
-                args={"kind": op.kind, "work": op.work})
+                track=f"{prefix}/gpu{op.gpu}/{op.stream}", args=args)
         ob.registry.histogram(f"{prefix}.makespan").observe(self.makespan)
         ob.count(f"{prefix}.ops", len(self.spans))
 
@@ -172,52 +190,132 @@ class SimResult:
         return busy
 
 
+def _op_name(op: Op) -> str:
+    return op.label or f"op#{op._uid}"
+
+
 def simulate(schedule: Schedule,
-             interference: InterferenceModel | None = None) -> SimResult:
+             interference: InterferenceModel | None = None,
+             faults: "FaultPlan | None" = None) -> SimResult:
     """Run the schedule to completion and return op spans.
 
-    The engine advances time between *rate change points* (op starts
-    and completions).  Between two such points every active op has a
-    constant rate, so remaining work decreases linearly and the next
-    completion can be computed in closed form.
+    The engine advances time between *rate change points* (op starts,
+    op completions, and fault-window boundaries).  Between two such
+    points every active op has a constant rate, so remaining work
+    decreases linearly and the next completion can be computed in
+    closed form.
+
+    With ``faults``, op rates are multiplied by the plan's
+    straggler/link-degradation factors inside their windows, and each
+    :class:`~repro.resilience.faults.OpFailure` kills the matching
+    active op at its instant: the victim's remaining work resets to its
+    full nominal work plus the detection timeout (retry with alpha-beta
+    re-charge).  Failures that hit an idle resource inject nothing but
+    are still tallied.
     """
     interference = interference or InterferenceModel()
     schedule.validate()
+    plan = faults if (faults is not None and not faults.empty()) else None
 
     remaining: dict[Op, float] = {op: op.work for op in schedule.ops}
     pending_deps: dict[Op, set[Op]] = {op: set(op.deps)
                                        for op in schedule.ops}
-    queues: dict[tuple[int, str], list[Op]] = {}
+    # Reverse-dependents index, built once: completing an op only has
+    # to visit its actual dependents instead of every op (the former
+    # O(N^2) dependency-clearing).
+    dependents: dict[Op, list[Op]] = {op: [] for op in schedule.ops}
     for op in schedule.ops:
-        queues.setdefault((op.gpu, op.stream), []).append(op)
+        for dep in set(op.deps):
+            dependents[dep].append(op)
+    queues: dict[tuple[int, str], deque[Op]] = {}
+    for op in schedule.ops:
+        queues.setdefault((op.gpu, op.stream), deque()).append(op)
 
     active: dict[Op, float] = {}  # op -> start time
+    busy: set[tuple[int, str]] = set()  # streams with an active op
     spans: dict[Op, tuple[float, float]] = {}
     done: set[Op] = set()
+    retries: dict[Op, int] = {}
+    faults_injected = 0
+    faults_recovered = 0
     now = 0.0
+    ob = get_observer()
+
+    boundaries = plan.boundaries() if plan else []
+    boundary_idx = 0
+    failures = (sorted(plan.op_failures, key=lambda f: f.time)
+                if plan else [])
+    failure_idx = 0
+
+    def complete(op: Op, start: float) -> None:
+        nonlocal faults_recovered
+        spans[op] = (start, now)
+        done.add(op)
+        busy.discard((op.gpu, op.stream))
+        for other in dependents[op]:
+            pending_deps[other].discard(op)
+        if op in retries:
+            faults_recovered += 1
+            if ob is not None:
+                ob.record_instant(
+                    "recovered", CAT_FAULT, now,
+                    track=f"sim/gpu{op.gpu}/{op.stream}",
+                    args={"op": _op_name(op), "retries": retries[op]})
 
     def try_start_ops() -> bool:
         started = False
-        for queue in queues.values():
+        for key, queue in queues.items():
             while queue:
                 op = queue[0]
-                if pending_deps[op]:
+                if pending_deps[op] or key in busy:
                     break
-                head_active = any(a.gpu == op.gpu and a.stream == op.stream
-                                  for a in active)
-                if head_active:
-                    break
-                queue.pop(0)
+                queue.popleft()
                 if remaining[op] <= _EPS:
-                    spans[op] = (now, now)
-                    done.add(op)
-                    for other in schedule.ops:
-                        pending_deps[other].discard(op)
+                    # Zero-work ops complete instantly without ever
+                    # occupying the stream.
+                    complete(op, now)
                     started = True
                 else:
                     active[op] = now
+                    busy.add(key)
                     started = True
         return started
+
+    def fire_due_failures() -> None:
+        nonlocal failure_idx, faults_injected
+        while (failure_idx < len(failures)
+               and failures[failure_idx].time <= now + _EPS):
+            fault = failures[failure_idx]
+            failure_idx += 1
+            faults_injected += 1
+            victims = [op for op in active
+                       if op.gpu == fault.gpu
+                       and (fault.stream is None
+                            or op.stream == fault.stream)]
+            for op in victims:
+                remaining[op] = op.work + fault.timeout
+                retries[op] = retries.get(op, 0) + 1
+            if ob is not None:
+                ob.record_instant(
+                    "injected", CAT_FAULT, now,
+                    track=f"sim/gpu{fault.gpu}/"
+                          f"{fault.stream or 'any'}",
+                    args={"t": fault.time, "gpu": fault.gpu,
+                          "victims": [_op_name(v) for v in victims],
+                          "timeout": fault.timeout})
+
+    def next_fault_event() -> float | None:
+        """Earliest future instant at which rates change or an op dies."""
+        nonlocal boundary_idx
+        while (boundary_idx < len(boundaries)
+               and boundaries[boundary_idx] <= now + _EPS):
+            boundary_idx += 1
+        candidates = []
+        if boundary_idx < len(boundaries):
+            candidates.append(boundaries[boundary_idx])
+        if failure_idx < len(failures):
+            candidates.append(failures[failure_idx].time)
+        return min(candidates) if candidates else None
 
     total = len(schedule.ops)
     while len(done) < total:
@@ -225,22 +323,36 @@ def simulate(schedule: Schedule,
             pass
         if len(done) >= total:
             break  # zero-work tail ops may finish inside try_start_ops
+        if plan:
+            fire_due_failures()
         if not active:
-            stuck = [op.label for op in schedule.ops if op not in done]
+            blocked = [op for op in schedule.ops
+                       if op not in done and pending_deps[op]]
+            detail = "; ".join(
+                f"{_op_name(op)} <- unmet "
+                f"[{', '.join(_op_name(d) for d in pending_deps[op])}]"
+                for op in blocked)
             raise RuntimeError(
-                f"deadlock: no runnable ops at t={now}; waiting: {stuck}")
+                f"deadlock: no runnable ops at t={now}; "
+                f"blocked: {detail}")
 
         rates: dict[Op, float] = {}
-        per_gpu_kinds: dict[int, list[str]] = {}
         for op in active:
-            per_gpu_kinds.setdefault(op.gpu, []).append(op.kind)
-        for op in active:
-            others = [k for a, k in
-                      ((a, a.kind) for a in active)
+            others = [a.kind for a in active
                       if a is not op and a.gpu == op.gpu]
-            rates[op] = interference.rate(op.kind, others)
+            rate = interference.rate(op.kind, others)
+            if plan:
+                rate *= plan.rate_scale(op.gpu, op.kind, now)
+            rates[op] = rate
 
         dt = min(remaining[op] / rates[op] for op in active)
+        if plan:
+            event = next_fault_event()
+            if event is not None and now + dt > event + _EPS:
+                # Stop at the fault boundary: rates change there, so
+                # the closed-form completion above is only valid up to
+                # it.  No op completes in this sub-interval.
+                dt = event - now
         now += dt
         finished = []
         for op in list(active):
@@ -248,14 +360,13 @@ def simulate(schedule: Schedule,
             if remaining[op] <= _EPS:
                 finished.append(op)
         for op in finished:
-            start = active.pop(op)
-            spans[op] = (start, now)
-            done.add(op)
-            for other in schedule.ops:
-                pending_deps[other].discard(op)
+            complete(op, active.pop(op))
 
-    result = SimResult(makespan=now, spans=spans)
-    ob = get_observer()
+    result = SimResult(makespan=now, spans=spans, retries=dict(retries),
+                       faults_injected=faults_injected,
+                       faults_recovered=faults_recovered)
     if ob is not None:
+        if faults_injected:
+            ob.count("sim.faults_injected", faults_injected)
         result.record_trace(ob)
     return result

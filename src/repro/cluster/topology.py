@@ -174,6 +174,23 @@ class ClusterTopology:
         from dataclasses import replace
         return replace(self, num_gpus=num_gpus)
 
+    def with_degraded_inter_link(self, factor: float) -> "ClusterTopology":
+        """Inter-node fabric derated to ``factor`` of nominal bandwidth.
+
+        Models a degraded link (cable re-train, congested rail) for the
+        resilience path: bandwidth shrinks while per-message costs stay
+        — exactly the regime where algorithm re-selection matters.
+        """
+        from dataclasses import replace
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"factor must be in (0, 1], got {factor}")
+        degraded = LinkSpec(
+            bandwidth=self.inter_link.bandwidth * factor,
+            latency=self.inter_link.latency,
+            message_overhead=self.inter_link.message_overhead,
+        )
+        return replace(self, inter_link=degraded)
+
 
 def ndv4_topology(num_gpus: int, gpus_per_node: int = 8) -> ClusterTopology:
     """The Azure NDv4 testbed used throughout the paper's evaluation.

@@ -43,6 +43,7 @@ __all__ = [
     "reduce_scatter_time",
     "all_reduce_time",
     "best_a2a_algorithm",
+    "feasible_a2a_algorithms",
 ]
 
 
@@ -278,15 +279,40 @@ def a2a_time(topo: ClusterTopology, total_bytes: float,
 
 
 def best_a2a_algorithm(topo: ClusterTopology, total_bytes: float,
-                       model: CollectiveCostModel = _DEFAULT
+                       model: CollectiveCostModel = _DEFAULT,
+                       candidates: tuple[A2AAlgorithm, ...] | None = None
                        ) -> tuple[A2AAlgorithm, float]:
-    """Cheapest algorithm and its latency for this size and scale."""
-    candidates = {
+    """Cheapest algorithm and its latency for this size and scale.
+
+    ``candidates`` restricts the choice — the recovery path uses this
+    to exclude hierarchical algorithms while a node is asymmetric
+    (see :func:`feasible_a2a_algorithms`).
+    """
+    if candidates is not None and not candidates:
+        raise ValueError("candidates must be non-empty when given")
+    pool = candidates or (A2AAlgorithm.LINEAR, A2AAlgorithm.TWO_DH)
+    costs = {
         algo: a2a_time(topo, total_bytes, algo, model=model)
-        for algo in (A2AAlgorithm.LINEAR, A2AAlgorithm.TWO_DH)
+        for algo in pool
     }
-    algo = min(candidates, key=candidates.__getitem__)
-    return algo, candidates[algo]
+    algo = min(costs, key=costs.__getitem__)
+    return algo, costs[algo]
+
+
+def feasible_a2a_algorithms(topo: ClusterTopology,
+                            symmetric_nodes: bool = True
+                            ) -> tuple[A2AAlgorithm, ...]:
+    """Algorithms usable under the current cluster health.
+
+    2DH's intra-node aggregation phases assume every node contributes
+    ``m`` equal participants; after a rank failure that leaves a node
+    partially populated (``symmetric_nodes=False``), only the linear
+    All-to-All — which degrades gracefully to an arbitrary peer set —
+    remains available until the rank is replaced.
+    """
+    if symmetric_nodes and topo.local_size > 1:
+        return (A2AAlgorithm.LINEAR, A2AAlgorithm.TWO_DH)
+    return (A2AAlgorithm.LINEAR,)
 
 
 # ----------------------------------------------------------------------

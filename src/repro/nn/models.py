@@ -80,6 +80,15 @@ class MoEClassifier(Module):
     def moe_layers(self) -> list[MoE]:
         return [b.mixer for b in self.blocks if isinstance(b.mixer, MoE)]
 
+    def fail_expert(self, layer: int, expert: int) -> None:
+        """Mask expert ``expert`` of MoE layer ``layer`` out of gating
+        (graceful degradation after an expert-serving rank dies)."""
+        layers = self.moe_layers()
+        if not 0 <= layer < len(layers):
+            raise ValueError(
+                f"layer {layer} out of range for {len(layers)} MoE layers")
+        layers[layer].fail_expert(expert)
+
     def set_inference_capacity(self, capacity_factor: float) -> None:
         """Change the capacity factor of every MoE layer (Table 12's
         separate train-f / infer-f knobs)."""

@@ -98,6 +98,32 @@ class MoE(Module):
         self.last_effective_capacity_factor: float | None = None
         self.last_dropped_fraction: float | None = None
 
+        # Experts masked out of gating (graceful degradation path).
+        self.failed_experts: set[int] = set()
+
+    # -- graceful degradation ---------------------------------------------
+
+    def fail_expert(self, expert: int) -> None:
+        """Mask a dead expert out of gating; survivors take over.
+
+        The mask zeroes the expert's softmax probability, so top-k
+        selection never picks it and (with ``normalize_gate``) the
+        surviving gate values renormalize automatically — tokens are
+        re-routed, not dropped.  At least one expert must survive.
+        """
+        if not 0 <= expert < self.num_experts:
+            raise ValueError(
+                f"expert {expert} out of range for {self.num_experts}")
+        if len(self.failed_experts | {expert}) >= self.num_experts:
+            raise ValueError(
+                "cannot fail the last surviving expert; "
+                "restore from checkpoint instead")
+        self.failed_experts.add(expert)
+
+    def restore_expert(self, expert: int) -> None:
+        """Readmit a previously failed expert to gating."""
+        self.failed_experts.discard(expert)
+
     # -- routing ----------------------------------------------------------
 
     def _gate_logits(self, x: Tensor) -> Tensor:
@@ -129,6 +155,14 @@ class MoE(Module):
 
         with _span("gate", CAT_MOE):
             logits = self._gate_logits(x)
+            if self.failed_experts:
+                # Graceful degradation: a large negative logit zeroes
+                # the dead experts' probabilities, so selection and the
+                # aux loss see only survivors; k shrinks if needed.
+                mask = np.zeros((1, self.num_experts))
+                mask[0, sorted(self.failed_experts)] = -1e30
+                logits = logits + mask
+                k = min(k, self.num_experts - len(self.failed_experts))
             probs = softmax(logits, axis=1)
 
             # Discrete routing decisions (outside the tape).

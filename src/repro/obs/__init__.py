@@ -42,7 +42,9 @@ from typing import Any, Callable
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import (
     CAT_BENCH,
+    CAT_CKPT,
     CAT_COLLECTIVE,
+    CAT_FAULT,
     CAT_MOE,
     CAT_PIPELINE,
     CAT_SIM,
@@ -75,6 +77,8 @@ __all__ = [
     "CAT_PIPELINE",
     "CAT_SIM",
     "CAT_BENCH",
+    "CAT_FAULT",
+    "CAT_CKPT",
 ]
 
 
@@ -184,6 +188,15 @@ class Observer:
         if self.recorder is not None:
             self.recorder.instant(name, cat, self.clock(), track=track,
                                   args=args)
+
+    def record_instant(self, name: str, cat: str, ts: float,
+                       track: str = "main",
+                       args: dict | None = None) -> None:
+        """Record an instant marker with an explicit timestamp
+        (simulated clocks — the fault-injection path)."""
+        self.registry.counter(f"{cat}.{name}").inc()
+        if self.recorder is not None:
+            self.recorder.instant(name, cat, ts, track=track, args=args)
 
     # -- scalar conveniences -------------------------------------------
 

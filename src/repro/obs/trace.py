@@ -37,6 +37,8 @@ __all__ = [
     "CAT_PIPELINE",
     "CAT_SIM",
     "CAT_BENCH",
+    "CAT_FAULT",
+    "CAT_CKPT",
 ]
 
 # Event categories (the Chrome-trace ``cat`` field).
@@ -46,6 +48,8 @@ CAT_COLLECTIVE = "collective"  # all-to-all / allreduce family
 CAT_PIPELINE = "pipeline"      # strategy-search exploration events
 CAT_SIM = "sim"                # simulated-clock op spans
 CAT_BENCH = "bench"            # explicit benchmark timers
+CAT_FAULT = "fault"            # injected faults and recoveries
+CAT_CKPT = "ckpt"              # checkpoint save/restore markers
 
 _MICRO = 1e6
 
@@ -95,6 +99,15 @@ class TraceEvent:
             "track": self.track,
             "args": dict(self.args),
         }
+
+    @classmethod
+    def from_json_obj(cls, obj: dict) -> "TraceEvent":
+        """Inverse of :meth:`to_json_obj` (JSONL round-trip)."""
+        return cls(name=obj["name"], cat=obj["cat"],
+                   ts=float(obj["ts"]), dur=float(obj.get("dur", 0.0)),
+                   track=obj.get("track", "main"),
+                   phase=obj.get("ph", "X"),
+                   args=dict(obj.get("args", {})))
 
 
 class TraceRecorder:
@@ -170,3 +183,18 @@ class TraceRecorder:
             fh.write(self.dumps_jsonl())
             if self.events:
                 fh.write("\n")
+
+    @classmethod
+    def loads_jsonl(cls, text: str) -> "TraceRecorder":
+        """Rebuild a recorder from :meth:`dumps_jsonl` output."""
+        recorder = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if line:
+                recorder.record(TraceEvent.from_json_obj(json.loads(line)))
+        return recorder
+
+    @classmethod
+    def load_jsonl(cls, path: str) -> "TraceRecorder":
+        with open(path) as fh:
+            return cls.loads_jsonl(fh.read())

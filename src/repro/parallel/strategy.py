@@ -45,6 +45,8 @@ __all__ = [
     "p2_communication_bytes",
     "p1_param_comm_time",
     "strategy_cost",
+    "available_strategies",
+    "best_strategy",
 ]
 
 
@@ -141,7 +143,9 @@ def strategy_cost(cfg: MoEConfig, topo: ClusterTopology,
                   strategy: Parallelism,
                   training: bool = True,
                   gemm: GemmModel | None = None,
-                  a2a_algorithm: A2AAlgorithm | None = None) -> StrategyCost:
+                  a2a_algorithm: A2AAlgorithm | None = None,
+                  a2a_candidates: tuple[A2AAlgorithm, ...] | None = None
+                  ) -> StrategyCost:
     """Full per-iteration cost of running the MoE layer under a strategy.
 
     Communication counts two All-to-All legs (dispatch + combine) for a
@@ -165,7 +169,8 @@ def strategy_cost(cfg: MoEConfig, topo: ClusterTopology,
         a2a_bytes, param_bytes = cfg.dispatch_bytes_per_gpu, 0
 
     if a2a_algorithm is None:
-        algo, one_leg = best_a2a_algorithm(topo, a2a_bytes)
+        algo, one_leg = best_a2a_algorithm(topo, a2a_bytes,
+                                           candidates=a2a_candidates)
     else:
         algo = a2a_algorithm
         one_leg = a2a_time(topo, a2a_bytes, algo)
@@ -192,3 +197,33 @@ def strategy_cost(cfg: MoEConfig, topo: ClusterTopology,
     return StrategyCost(strategy=strategy, a2a_bytes=a2a_bytes,
                         param_bytes=param_bytes, comm_time=comm,
                         compute_time=compute, a2a_algorithm=algo)
+
+
+def available_strategies(cfg: MoEConfig) -> tuple[Parallelism, ...]:
+    """Strategies the Figure 13 state machine allows for this config.
+
+    ``r == 1`` (at least one expert per GPU) admits only plain EP;
+    ``r > 1`` admits the two switchable hybrids P1 and P2.
+    """
+    if replication_factor(cfg) == 1:
+        return (Parallelism.EP,)
+    return (Parallelism.P1_EP_DP, Parallelism.P2_EP_MP)
+
+
+def best_strategy(cfg: MoEConfig, topo: ClusterTopology,
+                  training: bool = True,
+                  gemm: GemmModel | None = None,
+                  a2a_candidates: tuple[A2AAlgorithm, ...] | None = None
+                  ) -> StrategyCost:
+    """Cheapest admissible strategy for one iteration.
+
+    This is both the normal adaptive-parallelism selector (Table 5)
+    and the re-selection entry point of the recovery path
+    (:mod:`repro.resilience.recovery`): because P1/P2 keep identical
+    token feeding, gradient updating, and parameter placement, the
+    system can re-run this after a rank failure and switch instantly.
+    """
+    costs = [strategy_cost(cfg, topo, s, training=training, gemm=gemm,
+                           a2a_candidates=a2a_candidates)
+             for s in available_strategies(cfg)]
+    return min(costs, key=lambda c: c.total_time)

@@ -25,40 +25,79 @@ from repro.obs import CAT_PIPELINE, get_observer
 from repro.pipeline.schedule import PipelineStrategy, all_strategies
 
 __all__ = [
+    "MAX_BUCKET_SAMPLES",
     "Bucket",
     "OnlinePipeliningSearch",
 ]
 
 
+MAX_BUCKET_SAMPLES = 9
+"""Sliding-window size of per-strategy samples kept in each bucket.
+
+Odd so the median is always an observed value; large enough that a
+couple of straggler-inflated (or glitch-deflated) measurements cannot
+move it, small enough that the statistic tracks a drifting workload."""
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
 @dataclass
 class Bucket:
-    """A contiguous range of capacity factors sharing strategy data."""
+    """A contiguous range of capacity factors sharing strategy data.
+
+    Each strategy keeps a bounded window of normalized samples and is
+    scored by their **median**: a min-keeping memo is robust to slow
+    outliers (stragglers) but permanently locks in a spuriously-fast
+    glitch, while the median discounts both tails — the property the
+    resilience path needs when fault-injected steps feed the search.
+    """
 
     low: float
     length: float
     members: list[float] = field(default_factory=list)
-    tried: dict[PipelineStrategy, float] = field(default_factory=dict)
+    samples: dict[PipelineStrategy, list[float]] = field(
+        default_factory=dict)
 
     def contains(self, f: float) -> bool:
         return self.low <= f < self.low + self.length
 
     def record(self, strategy: PipelineStrategy, f: float,
                elapsed: float) -> None:
-        """Store a measurement normalized to the bucket's lowest f.
+        """Fold a measurement normalized to the bucket's lowest f.
 
         Segment time grows roughly linearly with workload, so dividing
         by ``f / low`` makes measurements at different factors
         comparable within the bucket.
         """
         normalized = elapsed * (self.low / f) if f > 0 else elapsed
-        best = self.tried.get(strategy)
-        if best is None or normalized < best:
-            self.tried[strategy] = normalized
+        window = self.samples.setdefault(strategy, [])
+        window.append(normalized)
+        if len(window) > MAX_BUCKET_SAMPLES:
+            del window[0]
+
+    def score(self, strategy: PipelineStrategy) -> float:
+        """Median of the strategy's sample window (robust statistic)."""
+        window = self.samples.get(strategy)
+        if not window:
+            raise KeyError(f"no samples for {strategy}")
+        return _median(window)
+
+    @property
+    def tried(self) -> dict[PipelineStrategy, float]:
+        """Strategy -> median-normalized-time view of the samples."""
+        return {s: self.score(s) for s in self.samples}
 
     def best_strategy(self) -> PipelineStrategy:
-        if not self.tried:
+        if not self.samples:
             raise ValueError("bucket has no measurements yet")
-        return min(self.tried, key=self.tried.__getitem__)
+        return min(self.samples, key=self.score)
 
 
 @dataclass
@@ -134,7 +173,7 @@ class OnlinePipeliningSearch:
         bucket = self._bucket_of(f)
         ob = get_observer()
         for strategy in self.strategies:
-            if strategy not in bucket.tried:
+            if strategy not in bucket.samples:
                 # Bucket exploration: this factor's bucket still has
                 # untried strategies, so the step pays a measurement.
                 if ob is not None:
@@ -142,7 +181,7 @@ class OnlinePipeliningSearch:
                         "f": f, "bucket_low": bucket.low,
                         "strategy": strategy.describe(),
                         "remaining": (len(self.strategies)
-                                      - len(bucket.tried))})
+                                      - len(bucket.samples))})
                 return strategy
         if ob is not None:
             ob.count("pipeline.bucket_hits")
@@ -188,4 +227,4 @@ class OnlinePipeliningSearch:
         f = float(capacity_factor)
         self._ensure_known(f)
         bucket = self._bucket_of(f)
-        return len(self.strategies) - len(bucket.tried)
+        return len(self.strategies) - len(bucket.samples)

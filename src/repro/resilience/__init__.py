@@ -1,0 +1,60 @@
+"""repro.resilience — fault injection, checkpoint/restore, recovery.
+
+Tutel's premise is that MoE workloads are *dynamic* and the system
+must adapt at runtime; at the 2,048-4,096-GPU scale of the paper's
+evaluation, stragglers, degraded links, and dying ranks are routine.
+This subsystem makes failure a first-class, *deterministic* input on
+both substrates:
+
+* :mod:`repro.resilience.faults` — seeded :class:`FaultPlan` objects
+  (straggler windows, link degradation, op-failure instants, expert
+  failures) consumed by :func:`repro.cluster.simulator.simulate` and
+  the chaos runner;
+* :mod:`repro.resilience.checkpoint` — checkpoint/restore of model
+  parameters, Adam state, RNG state, and training history, proven
+  bit-identical to an uninterrupted run;
+* :mod:`repro.resilience.recovery` — strategy re-selection after an
+  expert-parallel rank failure, reusing the paper's switchable P1/P2
+  parallelism as a recovery mechanism;
+* :mod:`repro.resilience.chaos` — the seeded end-to-end chaos scenario
+  behind ``repro chaos``.
+
+Everything emits ``repro.obs`` counters and trace events
+(``fault.injected``, ``fault.recovered``, ``train.step_skipped``,
+``ckpt.saved``) so recoveries are attributable to steps on the unified
+timeline.
+"""
+
+from repro.resilience.checkpoint import (
+    TrainingCheckpoint,
+    capture_training_state,
+    load_checkpoint,
+    restore_training_state,
+    save_checkpoint,
+)
+from repro.resilience.faults import (
+    ExpertFailure,
+    FaultPlan,
+    LinkDegradation,
+    OpFailure,
+    StragglerWindow,
+)
+from repro.resilience.recovery import RecoveryDecision, reselect_strategy
+from repro.resilience.chaos import ChaosReport, run_chaos
+
+__all__ = [
+    "StragglerWindow",
+    "LinkDegradation",
+    "OpFailure",
+    "ExpertFailure",
+    "FaultPlan",
+    "TrainingCheckpoint",
+    "capture_training_state",
+    "restore_training_state",
+    "save_checkpoint",
+    "load_checkpoint",
+    "RecoveryDecision",
+    "reselect_strategy",
+    "ChaosReport",
+    "run_chaos",
+]

@@ -1,0 +1,275 @@
+"""Seeded end-to-end chaos scenario exercising both substrates.
+
+One :func:`run_chaos` call drives the full resilience surface with a
+deterministic fault plan derived from a seed:
+
+1. **Performance substrate** — a multi-GPU synchronous-iteration
+   schedule is simulated fault-free and then under a
+   :class:`~repro.resilience.faults.FaultPlan` (one straggler GPU, one
+   degraded inter-node link window, one op failure with detection
+   timeout); the faulted makespan must come out strictly larger.
+2. **Recovery** — the op failure is escalated to a rank failure and
+   :func:`~repro.resilience.recovery.reselect_strategy` re-forms the
+   expert-parallel group on the survivors over the degraded fabric.
+3. **Functional substrate** — a toy MoE classifier trains through an
+   expert failure (gating renormalizes over survivors) and an injected
+   non-finite step (the guard rolls back and skips), checkpointing
+   along the way; the run must finish with finite losses.
+
+Every stage emits ``fault.injected`` / ``fault.recovered`` /
+``train.step_skipped`` / ``ckpt.saved`` events through ``repro.obs``,
+so the scenario doubles as an integration test of the observability
+contract.  ``repro chaos --seed 0 --smoke`` runs it from the CLI.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.cluster.simulator import Op, Schedule, SimResult, simulate
+from repro.cluster.topology import ndv4_topology
+from repro.core.config import MoEConfig
+from repro.obs import CAT_FAULT
+from repro.resilience.faults import (
+    FaultPlan,
+    LinkDegradation,
+    OpFailure,
+    StragglerWindow,
+)
+from repro.resilience.recovery import RecoveryDecision, reselect_strategy
+
+__all__ = [
+    "ChaosReport",
+    "build_chaos_schedule",
+    "make_chaos_plan",
+    "run_chaos",
+]
+
+
+@dataclass
+class ChaosReport:
+    """Everything a chaos run produced, for assertions and the CLI."""
+
+    seed: int
+    plan: FaultPlan
+    fault_free_makespan: float
+    faulted_makespan: float
+    sim_faults_injected: int
+    sim_faults_recovered: int
+    recovery: RecoveryDecision
+    train_steps: int
+    skipped_steps: list[int]
+    failed_expert: tuple[int, int]          # (layer, expert)
+    checkpoint_paths: list[str]
+    losses: list[float]
+    final_train_loss: float
+    final_train_accuracy: float
+    eval_accuracy: float
+    counters: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def slowdown(self) -> float:
+        if self.fault_free_makespan <= 0:
+            return 1.0
+        return self.faulted_makespan / self.fault_free_makespan
+
+    def describe(self) -> str:
+        lines = [
+            f"chaos scenario (seed {self.seed})",
+            "-- fault plan --",
+            f"  {self.plan.describe()}",
+        ]
+        lines += [
+            "-- performance substrate --",
+            f"  fault-free makespan : {self.fault_free_makespan:.6f} s",
+            f"  faulted makespan    : {self.faulted_makespan:.6f} s "
+            f"({self.slowdown:.2f}x)",
+            f"  sim faults injected/recovered : "
+            f"{self.sim_faults_injected}/{self.sim_faults_recovered}",
+            "-- recovery --",
+            f"  {self.recovery.describe()}",
+            "-- functional substrate --",
+            f"  steps {self.train_steps}, skipped {self.skipped_steps}, "
+            f"expert failure layer={self.failed_expert[0]} "
+            f"e={self.failed_expert[1]}",
+            f"  checkpoints: {len(self.checkpoint_paths)}",
+            f"  final train loss {self.final_train_loss:.4f}, "
+            f"train acc {self.final_train_accuracy:.3f}, "
+            f"eval acc {self.eval_accuracy:.3f}",
+            "-- fault/recovery counters --",
+        ]
+        for name in ("fault.injected", "fault.recovered",
+                     "train.step_skipped", "ckpt.saved"):
+            lines.append(f"  {name:20s} {self.counters.get(name, 0):g}")
+        return "\n".join(lines)
+
+
+def build_chaos_schedule(num_gpus: int = 4, iterations: int = 3,
+                         comm: float = 0.010,
+                         compute: float = 0.020) -> Schedule:
+    """Synchronous-iteration DAG over ``num_gpus`` GPUs.
+
+    Every iteration runs dispatch -> expert -> combine on each GPU and
+    ends in a global barrier, so a straggler or a retried op on any one
+    GPU stretches the whole run — the blast-radius shape real
+    synchronous MoE training has.
+    """
+    if num_gpus < 1 or iterations < 1:
+        raise ValueError("num_gpus and iterations must be >= 1")
+    schedule = Schedule()
+    barrier: Op | None = None
+    for it in range(iterations):
+        combines = []
+        for g in range(num_gpus):
+            deps = (barrier,) if barrier is not None else ()
+            d = schedule.new_op(work=comm, gpu=g, stream="comm",
+                                kind="comm", deps=deps,
+                                label=f"iter{it}/gpu{g}/dispatch")
+            e = schedule.new_op(work=compute, gpu=g, stream="compute",
+                                kind="compute", deps=(d,),
+                                label=f"iter{it}/gpu{g}/expert")
+            combines.append(schedule.new_op(
+                work=comm, gpu=g, stream="comm", kind="comm", deps=(e,),
+                label=f"iter{it}/gpu{g}/combine"))
+        barrier = schedule.new_op(work=0.0, gpu=0, stream="compute",
+                                  kind="host", deps=tuple(combines),
+                                  label=f"iter{it}/barrier")
+    return schedule
+
+
+def make_chaos_plan(seed: int, num_gpus: int,
+                    horizon: float) -> tuple[FaultPlan, int]:
+    """The acceptance-scenario fault plan, deterministic in ``seed``.
+
+    One straggler GPU at 0.3x rate for the middle of the run, one
+    degraded inter-node link window at 0.5x, and one op failure inside
+    the straggler window (so the retry lands on the slow GPU).
+    Returns the plan and the straggler GPU index.
+    """
+    rng = np.random.default_rng(seed)
+    straggler = int(rng.integers(num_gpus))
+    plan = FaultPlan(
+        stragglers=[StragglerWindow(gpu=straggler,
+                                    start=0.2 * horizon,
+                                    end=0.7 * horizon, factor=0.3)],
+        link_degradations=[LinkDegradation(start=0.3 * horizon,
+                                           end=0.8 * horizon,
+                                           factor=0.5)],
+        op_failures=[OpFailure(time=0.4 * horizon, gpu=straggler,
+                               timeout=0.05 * horizon)],
+        seed=seed)
+    return plan, straggler
+
+
+def run_chaos(seed: int = 0, steps: int = 30, num_gpus: int = 4,
+              smoke: bool = False, checkpoint_dir: str | None = None,
+              trace_path: str | None = None) -> ChaosReport:
+    """Run the seeded chaos scenario end to end on both substrates."""
+    if smoke:
+        steps = min(steps, 12)
+    if steps < 6:
+        raise ValueError(f"chaos scenario needs >= 6 steps, got {steps}")
+
+    previous = obs.get_observer()
+    ob = obs.enable()
+    try:
+        # -- performance substrate ---------------------------------------
+        schedule = build_chaos_schedule(num_gpus=num_gpus)
+        fault_free: SimResult = simulate(schedule)
+        plan, straggler = make_chaos_plan(seed, num_gpus,
+                                          fault_free.makespan)
+        faulted = simulate(schedule, faults=plan)
+
+        # -- recovery: escalate the op failure to a rank failure ---------
+        world, experts = 16, 8
+        cfg = MoEConfig(model_dim=1024, hidden_dim=4096,
+                        tokens_per_gpu=4096,
+                        experts_per_gpu=experts / world,
+                        world_size=world, top_k=2)
+        decision = reselect_strategy(cfg, ndv4_topology(world),
+                                     [straggler], link_degradation=0.5)
+
+        # -- functional substrate ----------------------------------------
+        from repro.nn.models import MoEClassifier
+        from repro.train.data import ClusteredTokenTask
+        from repro.train.trainer import train_model
+
+        num_experts = 4
+        task = ClusteredTokenTask(num_clusters=num_experts, input_dim=16,
+                                  num_classes=4, seed=seed)
+        data_rng = np.random.default_rng(seed + 17)
+        train_batch = task.sample(96 if smoke else 512, data_rng)
+        test_batch = task.sample(96 if smoke else 256, data_rng)
+        model = MoEClassifier(
+            input_dim=16, model_dim=24, hidden_dim=48, num_classes=4,
+            num_blocks=2, num_experts=num_experts,
+            rng=np.random.default_rng(seed + 1), top_k=2)
+
+        rng = np.random.default_rng(seed + 2)
+        failed_expert = int(rng.integers(num_experts))
+        expert_fail_step = max(1, steps // 3)
+        nonfinite_step = max(expert_fail_step + 1, 2 * steps // 3)
+
+        def chaos_hook(step: int, m) -> None:
+            if step == expert_fail_step:
+                m.fail_expert(0, failed_expert)
+                ob.instant("injected", CAT_FAULT, args={
+                    "kind": "expert_failure", "layer": 0,
+                    "expert": failed_expert, "step": step})
+            elif step == nonfinite_step:
+                # Poison one weight; the trainer's guard must detect
+                # the non-finite loss, roll back, and skip the step.
+                victim = next(p for p in m.parameters()
+                              if p.requires_grad)
+                victim.data.flat[0] = np.nan
+                ob.instant("injected", CAT_FAULT, args={
+                    "kind": "nonfinite_injection", "step": step})
+
+        temp_dir: tempfile.TemporaryDirectory | None = None
+        if checkpoint_dir is None:
+            temp_dir = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+            checkpoint_dir = temp_dir.name
+        try:
+            result = train_model(
+                model, train_batch, test_batch, steps=steps,
+                batch_size=32 if smoke else 64, seed=seed,
+                checkpoint_every=max(2, steps // 3),
+                checkpoint_dir=checkpoint_dir,
+                step_hook=chaos_hook)
+        finally:
+            if temp_dir is not None:
+                temp_dir.cleanup()
+        checkpoint_paths = list(result.checkpoint_paths)
+
+        if not all(np.isfinite(result.losses)):
+            raise RuntimeError("chaos training produced non-finite "
+                               "losses despite the guard")
+
+        if trace_path:
+            ob.recorder.dump_jsonl(trace_path)
+
+        report = ChaosReport(
+            seed=seed,
+            plan=plan,
+            fault_free_makespan=fault_free.makespan,
+            faulted_makespan=faulted.makespan,
+            sim_faults_injected=faulted.faults_injected,
+            sim_faults_recovered=faulted.faults_recovered,
+            recovery=decision,
+            train_steps=steps,
+            skipped_steps=list(result.skipped_steps),
+            failed_expert=(0, failed_expert),
+            checkpoint_paths=checkpoint_paths,
+            losses=list(result.losses),
+            final_train_loss=result.final_train_loss,
+            final_train_accuracy=result.final_train_accuracy,
+            eval_accuracy=result.eval_accuracy,
+            counters=dict(ob.registry.snapshot()["counters"]),
+        )
+        return report
+    finally:
+        obs.set_observer(previous)

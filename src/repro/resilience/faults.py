@@ -1,0 +1,233 @@
+"""Deterministic, seeded fault plans for the performance substrate.
+
+At the 2,048-4,096-GPU scale of the paper's evaluation, stragglers,
+degraded links, and dying ranks are the norm rather than the exception,
+yet an analytic cost model alone only knows a perfect cluster.  A
+:class:`FaultPlan` makes failure a first-class simulation input: it is
+a fully deterministic description of *when* and *where* the cluster
+misbehaves, so makespan-under-faults becomes a measurable quantity that
+two runs (or two strategies) can compare exactly.
+
+Three fault families cover the common large-scale pathologies:
+
+* :class:`StragglerWindow` — one GPU runs at a fraction of its nominal
+  rate inside a time window (thermal throttling, noisy neighbour,
+  background daemon);
+* :class:`LinkDegradation` — communication-kind ops are slowed inside
+  a window (flapping NIC, congested rail, cable re-train), optionally
+  scoped to one GPU's links;
+* :class:`OpFailure` — at a given simulated instant the op active on a
+  ``(gpu, stream)`` dies and is *retried with timeout*: all progress is
+  lost and the alpha-beta cost is re-charged after a detection timeout,
+  exactly the semantics of an NCCL watchdog abort + retry.
+
+:class:`ExpertFailure` is the functional-substrate counterpart: at a
+training step, one expert of one MoE layer dies and must be masked out
+of gating (see :meth:`repro.nn.moe.MoE.fail_expert`).
+
+Plans are either hand-built or drawn with :meth:`FaultPlan.random`
+from a seed, so chaos scenarios are reproducible bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "StragglerWindow",
+    "LinkDegradation",
+    "OpFailure",
+    "ExpertFailure",
+    "FaultPlan",
+]
+
+_COMM_KINDS = ("comm", "comm_memcpy")
+
+
+@dataclass(frozen=True)
+class StragglerWindow:
+    """One GPU running at ``factor`` of its nominal rate in a window."""
+
+    gpu: int
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.factor:
+            raise ValueError(f"factor must be > 0, got {self.factor}")
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(
+                f"need 0 <= start <= end, got [{self.start}, {self.end}]")
+
+    def active(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """Comm-kind ops slowed to ``factor`` of nominal rate in a window.
+
+    ``gpu=None`` degrades every GPU's links (a fabric-wide event);
+    otherwise only ops on that GPU's communication streams slow down.
+    """
+
+    start: float
+    end: float
+    factor: float
+    gpu: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.factor:
+            raise ValueError(f"factor must be > 0, got {self.factor}")
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(
+                f"need 0 <= start <= end, got [{self.start}, {self.end}]")
+
+    def applies(self, gpu: int, kind: str, t: float) -> bool:
+        return (kind in _COMM_KINDS
+                and (self.gpu is None or self.gpu == gpu)
+                and self.start <= t < self.end)
+
+
+@dataclass(frozen=True)
+class OpFailure:
+    """Kill the op active on ``(gpu, stream)`` at a simulated instant.
+
+    The victim loses all progress and re-runs from scratch after a
+    detection ``timeout`` is charged (the alpha-beta cost re-charge).
+    ``stream=None`` kills every op active on the GPU at that instant.
+    A failure instant with no active victim is a no-op (the fault hit
+    an idle resource) but is still counted as injected.
+    """
+
+    time: float
+    gpu: int
+    stream: str | None = None
+    timeout: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0 or not math.isfinite(self.time):
+            raise ValueError(f"time must be finite and >= 0, got {self.time}")
+        if self.timeout < 0:
+            raise ValueError(f"timeout must be >= 0, got {self.timeout}")
+
+
+@dataclass(frozen=True)
+class ExpertFailure:
+    """Functional-substrate fault: expert ``expert`` of MoE layer
+    ``layer`` dies at training step ``step``."""
+
+    step: int
+    layer: int
+    expert: int
+
+    def __post_init__(self) -> None:
+        if self.step < 0 or self.layer < 0 or self.expert < 0:
+            raise ValueError("step, layer, expert must all be >= 0")
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic collection of faults for one scenario.
+
+    The plan is pure data — the simulator (and trainer, for
+    :attr:`expert_failures`) interprets it.  ``seed`` records the
+    origin of a randomly drawn plan for reporting.
+    """
+
+    stragglers: list[StragglerWindow] = field(default_factory=list)
+    link_degradations: list[LinkDegradation] = field(default_factory=list)
+    op_failures: list[OpFailure] = field(default_factory=list)
+    expert_failures: list[ExpertFailure] = field(default_factory=list)
+    seed: int | None = None
+
+    # -- simulator queries ----------------------------------------------
+
+    def empty(self) -> bool:
+        return not (self.stragglers or self.link_degradations
+                    or self.op_failures)
+
+    def rate_scale(self, gpu: int, kind: str, t: float) -> float:
+        """Multiplicative rate factor for an op of ``kind`` on ``gpu``
+        at simulated time ``t`` (1.0 = nominal)."""
+        scale = 1.0
+        for w in self.stragglers:
+            if w.gpu == gpu and w.active(t):
+                scale *= w.factor
+        for d in self.link_degradations:
+            if d.applies(gpu, kind, t):
+                scale *= d.factor
+        return scale
+
+    def boundaries(self) -> list[float]:
+        """Sorted unique finite instants at which rates may change or a
+        failure fires — the extra rate-change points the engine must
+        stop at."""
+        times: set[float] = set()
+        for w in self.stragglers:
+            times.add(w.start)
+            if math.isfinite(w.end):
+                times.add(w.end)
+        for d in self.link_degradations:
+            times.add(d.start)
+            if math.isfinite(d.end):
+                times.add(d.end)
+        for f in self.op_failures:
+            times.add(f.time)
+        return sorted(times)
+
+    # -- construction ----------------------------------------------------
+
+    @staticmethod
+    def random(seed: int, num_gpus: int = 8, horizon: float = 1.0,
+               num_stragglers: int = 1, num_link_faults: int = 1,
+               num_op_failures: int = 1,
+               straggler_factor: float = 0.3,
+               link_factor: float = 0.5,
+               timeout_fraction: float = 0.05) -> "FaultPlan":
+        """Draw a reproducible plan over ``[0, horizon)`` seconds.
+
+        The same ``(seed, parameters)`` always yields the same plan, so
+        chaos scenarios can be replayed and bisected.
+        """
+        if num_gpus < 1:
+            raise ValueError(f"num_gpus must be >= 1, got {num_gpus}")
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        rng = np.random.default_rng(seed)
+        stragglers = []
+        for _ in range(num_stragglers):
+            start = float(rng.uniform(0.0, horizon * 0.5))
+            length = float(rng.uniform(horizon * 0.2, horizon * 0.5))
+            stragglers.append(StragglerWindow(
+                gpu=int(rng.integers(0, num_gpus)), start=start,
+                end=start + length, factor=straggler_factor))
+        links = []
+        for _ in range(num_link_faults):
+            start = float(rng.uniform(0.0, horizon * 0.5))
+            length = float(rng.uniform(horizon * 0.2, horizon * 0.5))
+            links.append(LinkDegradation(
+                start=start, end=start + length, factor=link_factor,
+                gpu=(int(rng.integers(0, num_gpus))
+                     if rng.random() < 0.5 else None)))
+        failures = []
+        for _ in range(num_op_failures):
+            failures.append(OpFailure(
+                time=float(rng.uniform(horizon * 0.1, horizon * 0.9)),
+                gpu=int(rng.integers(0, num_gpus)),
+                timeout=horizon * timeout_fraction))
+        return FaultPlan(stragglers=stragglers, link_degradations=links,
+                         op_failures=failures, seed=seed)
+
+    def describe(self) -> str:
+        parts = [f"{len(self.stragglers)} straggler(s)",
+                 f"{len(self.link_degradations)} degraded link window(s)",
+                 f"{len(self.op_failures)} op failure(s)"]
+        if self.expert_failures:
+            parts.append(f"{len(self.expert_failures)} expert failure(s)")
+        tag = f" (seed={self.seed})" if self.seed is not None else ""
+        return ", ".join(parts) + tag

@@ -1,7 +1,22 @@
-"""Training / evaluation loops for the accuracy experiments."""
+"""Training / evaluation loops for the accuracy experiments.
+
+Resilience features (see DESIGN.md "Resilience"):
+
+* **Checkpoint/restore** — ``checkpoint_every``/``checkpoint_dir``
+  periodically snapshot parameters, Adam state, RNG state and history
+  via :mod:`repro.resilience.checkpoint`; ``resume_from`` continues a
+  run *bit-identically* to the uninterrupted one.
+* **Non-finite guard** — a NaN/Inf loss or gradient skips the step,
+  restores the last-good parameters and optimizer moments, and records
+  the event (``train.step_skipped``) instead of poisoning the run.
+* **Graceful expert degradation** — ``step_hook`` lets a fault plan
+  call :meth:`MoEClassifier.fail_expert` mid-run; gating renormalizes
+  over the surviving experts and training continues.
+"""
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -13,7 +28,7 @@ from repro.autograd.optim import Adam, clip_grad_norm
 from repro.autograd.tensor import Tensor
 from repro.nn.models import MoEClassifier
 from repro.nn.modules import Module
-from repro.obs import CAT_TRAIN, get_observer
+from repro.obs import CAT_FAULT, CAT_CKPT, CAT_TRAIN, get_observer
 from repro.obs import span as _span
 from repro.train.data import TokenBatch
 from repro.train.schedules import apply_sparsity_schedules
@@ -34,8 +49,13 @@ class TrainResult:
     train_accuracies: list[float] = field(default_factory=list)
     eval_accuracy: float = 0.0
     final_train_loss: float = 0.0
+    final_train_accuracy: float = 0.0
     # Per-step needed capacity factor of every MoE layer (Figure 1).
     capacity_traces: dict[int, list[float]] = field(default_factory=dict)
+    # Steps dropped by the non-finite guard (resilience path).
+    skipped_steps: list[int] = field(default_factory=list)
+    # Checkpoint files written by this run, in order.
+    checkpoint_paths: list[str] = field(default_factory=list)
 
 
 def _accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
@@ -48,13 +68,25 @@ def evaluate(model: Module, batch: TokenBatch) -> float:
     return _accuracy(logits.data, batch.y)
 
 
+def _grads_finite(params: list[Tensor]) -> bool:
+    for p in params:
+        if p.grad is not None and not np.isfinite(p.grad).all():
+            return False
+    return True
+
+
 def train_model(model: Module, train: TokenBatch, test: TokenBatch,
                 steps: int = 300, batch_size: int = 256,
                 lr: float = 3e-3, aux_weight: float = 0.01,
                 weight_decay: float = 1e-4, grad_clip: float = 5.0,
                 seed: int = 0,
                 top_k_schedule: Callable[[int], float] | None = None,
-                capacity_schedule: Callable[[int], float] | None = None
+                capacity_schedule: Callable[[int], float] | None = None,
+                checkpoint_every: int | None = None,
+                checkpoint_dir: str | None = None,
+                resume_from: str | None = None,
+                nonfinite_guard: bool = True,
+                step_hook: Callable[[int, Module], None] | None = None
                 ) -> TrainResult:
     """Train with Adam on cross-entropy + auxiliary load-balance loss.
 
@@ -64,9 +96,29 @@ def train_model(model: Module, train: TokenBatch, test: TokenBatch,
     realize the dynamic-sparsity feature of paper Section 4.1: the
     per-iteration ``k`` and ``f`` of every MoE layer follow the given
     schedules (see :mod:`repro.train.schedules`).
+
+    ``checkpoint_every`` writes a checkpoint to ``checkpoint_dir``
+    every N completed steps; ``resume_from`` restores one and continues
+    bit-identically (the model must be constructed from the same seed).
+    ``step_hook(step, model)`` runs before each step — the chaos
+    scenario uses it to fail an expert mid-run.  ``nonfinite_guard``
+    skips NaN/Inf steps and rolls parameters back to the last good
+    state instead of letting the divergence propagate.
     """
     if steps < 1:
         raise ValueError(f"steps must be >= 1, got {steps}")
+    if checkpoint_every is not None:
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        if checkpoint_dir is None:
+            raise ValueError("checkpoint_every requires checkpoint_dir")
+    from repro.resilience.checkpoint import (
+        capture_training_state,
+        load_checkpoint,
+        restore_training_state,
+        save_checkpoint,
+    )
     rng = np.random.default_rng(seed)
     params = [p for p in model.parameters() if p.requires_grad]
     if not params:
@@ -78,13 +130,49 @@ def train_model(model: Module, train: TokenBatch, test: TokenBatch,
     for i in range(len(moe_layers)):
         result.capacity_traces[i] = []
 
+    start_step = 0
+    if resume_from is not None:
+        ckpt = load_checkpoint(resume_from)
+        if ckpt.step >= steps:
+            raise ValueError(
+                f"checkpoint is at step {ckpt.step}, nothing left of "
+                f"the requested {steps} steps")
+        restore_training_state(model, optimizer, rng, ckpt)
+        start_step = ckpt.step
+        result.losses = list(ckpt.losses)
+        result.train_accuracies = list(ckpt.train_accuracies)
+        result.skipped_steps = list(ckpt.skipped_steps)
+        for i, trace in ckpt.capacity_traces.items():
+            result.capacity_traces[i] = list(trace)
+
+    def snapshot():
+        return ([p.data.copy() for p in params],
+                [m.copy() for m in optimizer._m],
+                [v.copy() for v in optimizer._v],
+                optimizer._step)
+
+    def rollback(snap) -> None:
+        datas, ms, vs, opt_step = snap
+        for p, data in zip(params, datas):
+            np.copyto(p.data, data)
+            p.grad = None
+        for slot, m in zip(optimizer._m, ms):
+            np.copyto(slot, m)
+        for slot, v in zip(optimizer._v, vs):
+            np.copyto(slot, v)
+        optimizer._step = opt_step
+
+    last_good = snapshot() if nonfinite_guard else None
+
     n = len(train)
-    for step in range(steps):
+    for step in range(start_step, steps):
         # Step boundary first so every instrumented MoE layer's
         # RoutingStats lands under the right step in the obs history.
         ob = get_observer()
         if ob is not None:
             ob.begin_step(step)
+        if step_hook is not None:
+            step_hook(step, model)
         with _span("step", CAT_TRAIN):
             if top_k_schedule is not None or capacity_schedule is not None:
                 apply_sparsity_schedules(model, step,
@@ -95,15 +183,31 @@ def train_model(model: Module, train: TokenBatch, test: TokenBatch,
             with _span("forward", CAT_TRAIN):
                 logits, l_aux = model(Tensor(xb))
                 loss = cross_entropy(logits, yb) + l_aux * aux_weight
-            with _span("backward", CAT_TRAIN):
-                optimizer.zero_grad()
-                loss.backward()
+            bad = nonfinite_guard and not np.isfinite(loss.data).all()
+            if not bad:
+                with _span("backward", CAT_TRAIN):
+                    optimizer.zero_grad()
+                    loss.backward()
+                bad = nonfinite_guard and not _grads_finite(params)
+            if bad:
+                # Non-finite guard: drop the step and roll back to the
+                # last finite state so the divergence cannot compound.
+                rollback(last_good)
+                result.skipped_steps.append(step)
+                if ob is not None:
+                    ob.instant("step_skipped", CAT_TRAIN,
+                               args={"step": step})
+                    ob.instant("recovered", CAT_FAULT, args={
+                        "kind": "nonfinite_step", "step": step})
+                continue
             with _span("optimizer", CAT_TRAIN):
                 clip_grad_norm(params, grad_clip)
                 optimizer.step()
 
         result.losses.append(float(loss.data))
         result.train_accuracies.append(_accuracy(logits.data, yb))
+        if nonfinite_guard:
+            last_good = snapshot()
         if ob is not None:
             ob.count("train.steps")
             ob.gauge("train.loss", float(loss.data))
@@ -112,7 +216,31 @@ def train_model(model: Module, train: TokenBatch, test: TokenBatch,
                 result.capacity_traces[i].append(
                     layer.last_needed_capacity_factor)
 
-    result.final_train_loss = float(np.mean(result.losses[-20:]))
+        completed = step + 1
+        if (checkpoint_every is not None
+                and completed % checkpoint_every == 0):
+            os.makedirs(checkpoint_dir, exist_ok=True)
+            path = os.path.join(checkpoint_dir,
+                                f"ckpt_{completed:06d}.npz")
+            save_checkpoint(
+                capture_training_state(model, optimizer, rng,
+                                       completed, result=result), path)
+            result.checkpoint_paths.append(path)
+            if ob is not None:
+                ob.instant("saved", CAT_CKPT,
+                           args={"step": completed, "path": path})
+
+    # Window-averaged final metrics: clamp the window when fewer than
+    # 20 steps contributed (short runs, or steps lost to the guard) so
+    # the mean never runs over an empty slice.
+    if result.losses:
+        window = min(20, len(result.losses))
+        result.final_train_loss = float(
+            np.mean(result.losses[-window:]))
+    if result.train_accuracies:
+        window = min(20, len(result.train_accuracies))
+        result.final_train_accuracy = float(
+            np.mean(result.train_accuracies[-window:]))
     ob = get_observer()
     if ob is not None:
         # Mark the held-out forward so its routing records don't get

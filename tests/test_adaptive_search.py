@@ -32,13 +32,47 @@ class TestBucket:
         b.record(s, 4.0, 10.0)  # f twice the low -> halved
         assert b.tried[s] == pytest.approx(5.0)
 
-    def test_record_keeps_best(self):
+    def test_record_scores_by_median(self):
         b = Bucket(low=1.0, length=1.0)
         s = PipelineStrategy(degree=1)
         b.record(s, 1.0, 5.0)
         b.record(s, 1.0, 3.0)
         b.record(s, 1.0, 9.0)
-        assert b.tried[s] == 3.0
+        assert b.tried[s] == 5.0
+
+    def test_median_resists_fast_glitch(self):
+        # A min-keeping memo would lock in the one spuriously-fast
+        # sample of the bad strategy and prefer it forever; the median
+        # keeps the honest ranking.
+        b = Bucket(low=1.0, length=1.0)
+        good = PipelineStrategy(degree=1)
+        bad = PipelineStrategy(degree=2)
+        for t in (1.0, 1.0, 1.0):
+            b.record(good, 1.0, t)
+        for t in (2.0, 2.0, 0.1):  # one glitch-deflated sample
+            b.record(bad, 1.0, t)
+        assert b.score(bad) == 2.0
+        assert b.best_strategy() == good
+
+    def test_median_resists_straggler_outlier(self):
+        # One straggler-inflated sample must not dethrone the winner.
+        b = Bucket(low=1.0, length=1.0)
+        good = PipelineStrategy(degree=1)
+        other = PipelineStrategy(degree=2)
+        for t in (1.0, 5.0, 1.0):  # middle step hit by a straggler
+            b.record(good, 1.0, t)
+        for t in (1.5, 1.5, 1.5):
+            b.record(other, 1.0, t)
+        assert b.score(good) == 1.0
+        assert b.best_strategy() == good
+
+    def test_sample_window_is_bounded(self):
+        from repro.pipeline.adaptive import MAX_BUCKET_SAMPLES
+        b = Bucket(low=1.0, length=1.0)
+        s = PipelineStrategy(degree=1)
+        for i in range(3 * MAX_BUCKET_SAMPLES):
+            b.record(s, 1.0, float(i))
+        assert len(b.samples[s]) == MAX_BUCKET_SAMPLES
 
     def test_best_requires_data(self):
         with pytest.raises(ValueError):

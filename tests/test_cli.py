@@ -72,3 +72,18 @@ class TestObsCommand:
         assert jsonl.read_text().strip()
         # The command must clean up the process-wide observer.
         assert obs_module.get_observer() is None
+
+
+class TestChaosCommand:
+    def test_chaos_smoke(self, tmp_path, capsys):
+        from repro import obs as obs_module
+
+        trace = tmp_path / "chaos.jsonl"
+        assert main(["chaos", "--seed", "0", "--smoke",
+                     "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "chaos scenario (seed 0)" in out
+        assert "fault-free makespan" in out
+        assert "fault.recovered" in out
+        assert trace.read_text().strip()
+        assert obs_module.get_observer() is None

@@ -196,6 +196,72 @@ class TestTraceExport:
         assert rec.dropped == 3
 
 
+class TestJsonlRoundTrip:
+    """Write -> parse -> compare for a trace carrying both substrates'
+    event types, including the resilience events."""
+
+    def _fault_laden_observer(self):
+        ob = obs.enable()
+        from repro.cluster.simulator import Schedule, simulate
+        from repro.obs import CAT_CKPT, CAT_FAULT, CAT_TRAIN
+        from repro.resilience.faults import FaultPlan, OpFailure
+
+        for step in range(3):
+            ob.begin_step(step)
+            with ob.span("train_step", CAT_TRAIN, args={"step": step}):
+                pass
+            if step == 1:
+                ob.instant("step_skipped", CAT_TRAIN,
+                           args={"step": step})
+                ob.instant("saved", CAT_CKPT,
+                           args={"step": step, "path": "x.npz"})
+        s = Schedule()
+        s.new_op(work=1.0, label="victim")
+        simulate(s, faults=FaultPlan(op_failures=[
+            OpFailure(time=0.5, gpu=0, timeout=0.1)]))
+        assert any(e.cat == CAT_FAULT for e in ob.recorder.events)
+        return ob
+
+    def test_round_trip_preserves_events(self, tmp_path):
+        ob = self._fault_laden_observer()
+        path = str(tmp_path / "events.jsonl")
+        ob.recorder.dump_jsonl(path)
+        loaded = TraceRecorder.load_jsonl(path)
+        assert len(loaded.events) == len(ob.recorder.events)
+        for got, want in zip(loaded.events, ob.recorder.events):
+            assert got == want  # TraceEvent is a frozen dataclass
+
+    def test_round_trip_keeps_types_and_steps(self, tmp_path):
+        ob = self._fault_laden_observer()
+        path = str(tmp_path / "events.jsonl")
+        ob.recorder.dump_jsonl(path)
+        events = TraceRecorder.load_jsonl(path).events
+
+        by_cat = {}
+        for e in events:
+            by_cat.setdefault(e.cat, []).append(e)
+        assert {"train", "ckpt", "fault"} <= set(by_cat)
+        # Step attribution survives the round trip.
+        steps = sorted(e.args["step"] for e in by_cat["train"]
+                       if e.name == "train_step")
+        assert steps == [0, 1, 2]
+        assert by_cat["ckpt"][0].args == {"step": 1, "path": "x.npz"}
+        fault_names = [e.name for e in by_cat["fault"]]
+        assert fault_names == ["injected", "recovered"]
+        # Instants parse back as instants, spans as spans.
+        assert all(e.phase == "i" for e in by_cat["fault"])
+        assert any(e.phase == "X" for e in by_cat["train"])
+
+    def test_wall_clock_timestamps_monotonic(self, tmp_path):
+        ob = self._fault_laden_observer()
+        path = str(tmp_path / "events.jsonl")
+        ob.recorder.dump_jsonl(path)
+        events = TraceRecorder.load_jsonl(path).events
+        wall = [e.ts for e in events if e.track == "main"]
+        assert wall
+        assert all(b >= a for a, b in zip(wall, wall[1:]))
+
+
 class TestMoEIntegration:
     def test_functional_layer_emits_spans_and_routing(self):
         from repro.moe.layer import MoELayerParams, moe_layer_forward

@@ -1,0 +1,316 @@
+"""Tests for checkpoint/restore, the non-finite guard, and expert
+degradation in the functional-substrate trainer."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.optim import Adam
+from repro.nn.models import MoEClassifier
+from repro.resilience.checkpoint import (
+    capture_training_state,
+    load_checkpoint,
+    restore_training_state,
+    save_checkpoint,
+)
+from repro.train.data import ClusteredTokenTask
+from repro.train.trainer import train_model
+
+
+@pytest.fixture(scope="module")
+def splits():
+    task = ClusteredTokenTask(num_clusters=8, input_dim=8, num_classes=4,
+                              noise=0.4, seed=0)
+    return task.sample(1024), task.sample(512)
+
+
+def fresh_model(seed=0):
+    return MoEClassifier(8, 16, 32, 4, num_blocks=2, num_experts=8,
+                         rng=np.random.default_rng(seed), top_k=2)
+
+
+class TestCheckpointRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        model = fresh_model()
+        opt = Adam([p for p in model.parameters() if p.requires_grad])
+        rng = np.random.default_rng(3)
+        rng.integers(0, 100, 7)  # advance so the state is non-trivial
+        ckpt = capture_training_state(model, opt, rng, step=5)
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(ckpt, path)
+        loaded = load_checkpoint(path)
+        assert loaded.step == 5
+        assert loaded.rng_state == ckpt.rng_state
+        assert set(loaded.params) == set(ckpt.params)
+        for name in ckpt.params:
+            np.testing.assert_array_equal(loaded.params[name],
+                                          ckpt.params[name])
+        for a, b in zip(loaded.opt_m, ckpt.opt_m):
+            np.testing.assert_array_equal(a, b)
+
+    def test_restore_into_fresh_objects(self, tmp_path):
+        model = fresh_model()
+        opt = Adam([p for p in model.parameters() if p.requires_grad])
+        rng = np.random.default_rng(3)
+        ckpt = capture_training_state(model, opt, rng, step=0)
+
+        other = fresh_model(seed=9)  # different init
+        other_opt = Adam([p for p in other.parameters()
+                          if p.requires_grad])
+        other_rng = np.random.default_rng(99)
+        restore_training_state(other, other_opt, other_rng, ckpt)
+        for (n1, p1), (n2, p2) in zip(model.named_parameters(),
+                                      other.named_parameters()):
+            assert n1 == n2
+            np.testing.assert_array_equal(p1.data, p2.data)
+        assert other_rng.bit_generator.state == rng.bit_generator.state
+
+    def test_restore_reapplies_failed_experts(self):
+        model = fresh_model()
+        model.fail_expert(0, 3)
+        opt = Adam([p for p in model.parameters() if p.requires_grad])
+        ckpt = capture_training_state(model, opt,
+                                      np.random.default_rng(0), step=1)
+        assert ckpt.failed_experts == {0: [3]}
+        other = fresh_model()
+        other_opt = Adam([p for p in other.parameters()
+                          if p.requires_grad])
+        restore_training_state(other, other_opt,
+                               np.random.default_rng(0), ckpt)
+        assert other.moe_layers()[0].failed_experts == {3}
+
+    def test_shape_mismatch_rejected(self):
+        model = fresh_model()
+        opt = Adam([p for p in model.parameters() if p.requires_grad])
+        ckpt = capture_training_state(model, opt,
+                                      np.random.default_rng(0), step=0)
+        name = next(iter(ckpt.params))
+        ckpt.params[name] = np.zeros((1, 1))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            restore_training_state(model, opt,
+                                   np.random.default_rng(0), ckpt)
+
+    def test_name_mismatch_rejected(self):
+        model = fresh_model()
+        opt = Adam([p for p in model.parameters() if p.requires_grad])
+        ckpt = capture_training_state(model, opt,
+                                      np.random.default_rng(0), step=0)
+        name = next(iter(ckpt.params))
+        ckpt.params["bogus"] = ckpt.params.pop(name)
+        with pytest.raises(ValueError, match="name mismatch"):
+            restore_training_state(model, opt,
+                                   np.random.default_rng(0), ckpt)
+
+
+class TestResumeDeterminism:
+    def test_resume_is_bit_identical(self, splits, tmp_path):
+        """The acceptance contract: 40 straight steps == 20 steps ->
+        checkpoint -> fresh process state -> restore -> 20 more,
+        bit for bit (parameters and loss trace)."""
+        train, test = splits
+        kwargs = dict(steps=40, batch_size=64, seed=0)
+
+        straight = train_model(fresh_model(), train, test, **kwargs)
+
+        ckpt_dir = str(tmp_path / "ckpts")
+        first = train_model(fresh_model(), train, test,
+                            steps=20, batch_size=64, seed=0,
+                            checkpoint_every=20, checkpoint_dir=ckpt_dir)
+        assert len(first.checkpoint_paths) == 1
+
+        resumed_model = fresh_model()  # same construction seed
+        resumed = train_model(resumed_model, train, test, **kwargs,
+                              resume_from=first.checkpoint_paths[0])
+
+        assert resumed.losses == straight.losses
+        assert resumed.train_accuracies == straight.train_accuracies
+        assert resumed.capacity_traces == straight.capacity_traces
+        assert resumed.eval_accuracy == straight.eval_accuracy
+
+    def test_resumed_params_match_straight(self, splits, tmp_path):
+        train, test = splits
+        straight_model = fresh_model()
+        train_model(straight_model, train, test, steps=30,
+                    batch_size=64, seed=0)
+
+        ckpt_dir = str(tmp_path / "ckpts")
+        first = train_model(fresh_model(), train, test, steps=15,
+                            batch_size=64, seed=0,
+                            checkpoint_every=15, checkpoint_dir=ckpt_dir)
+        resumed_model = fresh_model()
+        train_model(resumed_model, train, test, steps=30,
+                    batch_size=64, seed=0,
+                    resume_from=first.checkpoint_paths[0])
+        for (n1, p1), (n2, p2) in zip(
+                straight_model.named_parameters(),
+                resumed_model.named_parameters()):
+            assert n1 == n2
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_resume_past_end_rejected(self, splits, tmp_path):
+        train, test = splits
+        ckpt_dir = str(tmp_path / "ckpts")
+        result = train_model(fresh_model(), train, test, steps=10,
+                             batch_size=32, seed=0,
+                             checkpoint_every=10,
+                             checkpoint_dir=ckpt_dir)
+        with pytest.raises(ValueError, match="nothing left"):
+            train_model(fresh_model(), train, test, steps=10,
+                        batch_size=32, seed=0,
+                        resume_from=result.checkpoint_paths[0])
+
+    def test_checkpoint_every_validation(self, splits):
+        train, test = splits
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            train_model(fresh_model(), train, test, steps=5,
+                        checkpoint_every=2)
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            train_model(fresh_model(), train, test, steps=5,
+                        checkpoint_every=0, checkpoint_dir="/tmp/x")
+
+
+class TestNonFiniteGuard:
+    def test_poisoned_step_skipped_and_rolled_back(self, splits):
+        train, test = splits
+        model = fresh_model()
+        poisoned_at = {}
+
+        def hook(step, m):
+            if step == 5:
+                victim = next(p for p in m.parameters()
+                              if p.requires_grad)
+                poisoned_at["value"] = victim
+                victim.data.flat[0] = np.nan
+
+        result = train_model(model, train, test, steps=10,
+                             batch_size=32, seed=0, step_hook=hook)
+        assert result.skipped_steps == [5]
+        assert len(result.losses) == 9
+        assert np.isfinite(result.losses).all()
+        # The rollback healed the poisoned weight.
+        assert np.isfinite(poisoned_at["value"].data).all()
+
+    def test_guard_disabled_lets_nan_through(self, splits):
+        train, test = splits
+        model = fresh_model()
+
+        def hook(step, m):
+            if step == 2:
+                victim = next(p for p in m.parameters()
+                              if p.requires_grad)
+                victim.data.flat[0] = np.nan
+
+        result = train_model(model, train, test, steps=5,
+                             batch_size=32, seed=0, step_hook=hook,
+                             nonfinite_guard=False)
+        assert not np.isfinite(result.losses).all()
+
+
+class TestExpertDegradation:
+    def test_failed_expert_receives_no_tokens(self):
+        from repro.autograd.tensor import Tensor
+        from repro.nn.moe import MoE
+
+        def run(fail):
+            layer = MoE(8, 16, 4, np.random.default_rng(0), top_k=2)
+            if fail:
+                layer.fail_expert(2)
+            x = Tensor(np.random.default_rng(1).normal(size=(64, 8)))
+            out, aux = layer(x)
+            (out.sum() + aux).backward()
+            return layer, out
+
+        healthy, _ = run(fail=False)
+        # Control: expert 2 normally gets traffic, so gradients flow.
+        assert np.abs(healthy.w1.grad[2]).sum() > 0
+
+        failed, out = run(fail=True)
+        # No tokens routed to the dead expert -> no gradient into it.
+        assert np.abs(failed.w1.grad[2]).sum() == 0
+        assert np.abs(failed.w2.grad[2]).sum() == 0
+        # Survivors still train and the output stays finite.
+        assert np.abs(failed.w1.grad[0]).sum() > 0
+        assert np.isfinite(out.data).all()
+
+    def test_training_continues_through_expert_failure(self, splits):
+        train, test = splits
+        model = fresh_model()
+
+        def hook(step, m):
+            if step == 4:
+                m.fail_expert(0, 1)
+
+        result = train_model(model, train, test, steps=12,
+                             batch_size=32, seed=0, step_hook=hook)
+        assert np.isfinite(result.losses).all()
+        assert len(result.losses) == 12
+        assert model.moe_layers()[0].failed_experts == {1}
+
+    def test_accuracy_degrades_gracefully(self, splits):
+        """Losing 2 of 8 experts mid-run must dent accuracy, not
+        collapse it — survivors absorb the re-routed tokens."""
+        train, test = splits
+        kwargs = dict(steps=40, batch_size=64, seed=0)
+        healthy = train_model(fresh_model(), train, test, **kwargs)
+
+        def hook(step, m):
+            if step == 10:
+                m.fail_expert(0, 1)
+                m.fail_expert(0, 2)
+
+        degraded = train_model(fresh_model(), train, test, **kwargs,
+                               step_hook=hook)
+        assert degraded.skipped_steps == []
+        assert degraded.eval_accuracy > 0.25   # above 4-class chance
+        assert degraded.eval_accuracy >= healthy.eval_accuracy - 0.1
+
+    def test_cannot_fail_all_experts(self):
+        model = fresh_model()
+        layer = model.moe_layers()[0]
+        for e in range(layer.num_experts - 1):
+            layer.fail_expert(e)
+        with pytest.raises(ValueError, match="last surviving"):
+            layer.fail_expert(layer.num_experts - 1)
+
+    def test_fail_expert_validation(self):
+        model = fresh_model()
+        with pytest.raises(ValueError):
+            model.fail_expert(5, 0)  # no such layer
+        with pytest.raises(ValueError):
+            model.fail_expert(0, 99)  # no such expert
+
+    def test_restore_expert_readmits(self):
+        model = fresh_model()
+        layer = model.moe_layers()[0]
+        layer.fail_expert(0)
+        layer.restore_expert(0)
+        assert layer.failed_experts == set()
+
+
+class TestWindowedFinalMetrics:
+    """Regression tests for the short-run window bug: final metrics
+    must average over min(20, available) completed steps and stay
+    finite even when steps were skipped."""
+
+    def test_short_run_window_clamped(self, splits):
+        train, test = splits
+        result = train_model(fresh_model(), train, test, steps=7,
+                             batch_size=32, seed=0)
+        assert result.final_train_loss == pytest.approx(
+            float(np.mean(result.losses)))
+        assert result.final_train_accuracy == pytest.approx(
+            float(np.mean(result.train_accuracies)))
+
+    def test_long_run_window_is_last_20(self, splits):
+        train, test = splits
+        result = train_model(fresh_model(), train, test, steps=25,
+                             batch_size=32, seed=0)
+        assert result.final_train_loss == pytest.approx(
+            float(np.mean(result.losses[-20:])))
+        assert result.final_train_accuracy == pytest.approx(
+            float(np.mean(result.train_accuracies[-20:])))
+
+    def test_final_accuracy_in_range(self, splits):
+        train, test = splits
+        result = train_model(fresh_model(), train, test, steps=10,
+                             batch_size=32, seed=0)
+        assert 0.0 <= result.final_train_accuracy <= 1.0

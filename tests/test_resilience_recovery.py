@@ -1,0 +1,205 @@
+"""Tests for strategy re-selection after rank failures and the
+end-to-end chaos scenario."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cluster.topology import ndv4_topology
+from repro.collectives.schedule import (
+    A2AAlgorithm,
+    feasible_a2a_algorithms,
+)
+from repro.core.config import MoEConfig
+from repro.obs.trace import TraceRecorder
+from repro.resilience import run_chaos
+from repro.resilience.recovery import reselect_strategy
+
+
+def make_cfg(world=16, experts=8):
+    return MoEConfig(model_dim=1024, hidden_dim=4096,
+                     tokens_per_gpu=4096,
+                     experts_per_gpu=experts / world,
+                     world_size=world, top_k=2)
+
+
+class TestFeasibleAlgorithms:
+    def test_symmetric_allows_2dh(self):
+        topo = ndv4_topology(16)
+        assert feasible_a2a_algorithms(topo) == (
+            A2AAlgorithm.LINEAR, A2AAlgorithm.TWO_DH)
+
+    def test_asymmetric_linear_only(self):
+        topo = ndv4_topology(16)
+        assert feasible_a2a_algorithms(topo, symmetric_nodes=False) == (
+            A2AAlgorithm.LINEAR,)
+
+
+class TestDegradedLink:
+    def test_bandwidth_scaled(self):
+        topo = ndv4_topology(16)
+        degraded = topo.with_degraded_inter_link(0.5)
+        assert degraded.inter_link.bandwidth == pytest.approx(
+            topo.inter_link.bandwidth * 0.5)
+        assert degraded.inter_link.latency == topo.inter_link.latency
+        assert degraded.intra_link == topo.intra_link
+
+    def test_factor_validation(self):
+        topo = ndv4_topology(16)
+        with pytest.raises(ValueError):
+            topo.with_degraded_inter_link(0.0)
+        with pytest.raises(ValueError):
+            topo.with_degraded_inter_link(1.5)
+
+
+class TestReselectStrategy:
+    def test_single_rank_failure(self):
+        decision = reselect_strategy(make_cfg(), ndv4_topology(16), [3])
+        assert decision.failed_ranks == (3,)
+        assert decision.healthy_world == 15
+        # Largest multiple of 8 experts that 15 survivors can form.
+        assert decision.surviving_world == 8
+        assert decision.dropped_healthy == 7
+        assert decision.config.world_size == 8
+        assert decision.config.num_global_experts == 8
+        # Node 0 lost 1 of its 8 ranks -> asymmetric -> no 2DH.
+        assert decision.node_asymmetric
+        assert decision.cost.a2a_algorithm is A2AAlgorithm.LINEAR
+        assert np.isfinite(decision.cost.total_time)
+        assert "ranks [3]" in decision.describe()
+
+    def test_whole_node_failure_stays_symmetric(self):
+        decision = reselect_strategy(make_cfg(), ndv4_topology(16),
+                                     list(range(8, 16)))
+        assert decision.healthy_world == 8
+        assert decision.surviving_world == 8
+        assert not decision.node_asymmetric
+
+    def test_fewer_survivors_than_experts(self):
+        # 3 survivors cannot split 8 experts evenly; park one rank.
+        decision = reselect_strategy(make_cfg(), ndv4_topology(16),
+                                     list(range(13)))
+        assert decision.healthy_world == 3
+        assert decision.surviving_world == 2
+        assert decision.config.experts_per_gpu == pytest.approx(4.0)
+
+    def test_unrecoverable_raises(self):
+        with pytest.raises(RuntimeError, match="restore from checkpoint"):
+            reselect_strategy(make_cfg(), ndv4_topology(16),
+                              list(range(16)))
+
+    def test_link_degradation_raises_cost(self):
+        # 31 survivors of 32 re-form a 16-rank group spanning two
+        # nodes, so the degraded inter-node fabric is on the critical
+        # path of the re-selected strategy.
+        cfg, topo = make_cfg(world=32, experts=16), ndv4_topology(32)
+        clean = reselect_strategy(cfg, topo, [3])
+        degraded = reselect_strategy(cfg, topo, [3],
+                                     link_degradation=0.5)
+        assert clean.surviving_world == 16
+        assert degraded.cost.total_time > clean.cost.total_time
+
+    def test_duplicate_and_unsorted_ranks_normalized(self):
+        decision = reselect_strategy(make_cfg(), ndv4_topology(16),
+                                     [5, 3, 5])
+        assert decision.failed_ranks == (3, 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reselect_strategy(make_cfg(), ndv4_topology(16), [99])
+        with pytest.raises(ValueError):
+            reselect_strategy(make_cfg(world=8), ndv4_topology(16), [0])
+
+    def test_emits_fault_events(self):
+        ob = obs.enable()
+        try:
+            reselect_strategy(make_cfg(), ndv4_topology(16), [3])
+            counters = ob.registry.snapshot()["counters"]
+            assert counters["fault.injected"] == 1
+            assert counters["fault.recovered"] == 1
+            recovered = next(e for e in ob.recorder.events
+                             if e.name == "recovered")
+            assert recovered.args["kind"] == "strategy_reselection"
+            assert recovered.args["world"] == 8
+        finally:
+            obs.disable()
+
+
+class TestChaosEndToEnd:
+    @pytest.fixture(scope="class")
+    def chaos(self, tmp_path_factory):
+        trace = str(tmp_path_factory.mktemp("chaos") / "chaos.jsonl")
+        report = run_chaos(seed=0, smoke=True, trace_path=trace)
+        return report, trace
+
+    def test_faults_slow_the_simulation(self, chaos):
+        report, _ = chaos
+        assert np.isfinite(report.faulted_makespan)
+        assert report.faulted_makespan > report.fault_free_makespan
+        assert report.sim_faults_injected >= 1
+        assert report.sim_faults_recovered >= 1
+
+    def test_training_completes_without_nan(self, chaos):
+        report, _ = chaos
+        assert np.isfinite(report.losses).all()
+        assert len(report.losses) == report.train_steps - len(
+            report.skipped_steps)
+        assert np.isfinite(report.final_train_loss)
+        assert 0.0 <= report.final_train_accuracy <= 1.0
+
+    def test_recoveries_counted(self, chaos):
+        report, _ = chaos
+        assert report.counters["fault.recovered"] > 0
+        assert report.counters["fault.injected"] >= 3
+        assert report.counters["train.step_skipped"] == 1
+        assert report.counters["ckpt.saved"] >= 2
+        assert report.recovery.surviving_world >= 1
+
+    def test_events_attributed_to_steps(self, chaos):
+        """The injected expert failure and the non-finite poisoning
+        must land on their scheduled steps, and the skipped step must
+        be exactly the poisoned one."""
+        report, trace = chaos
+        steps = report.train_steps  # 12 in smoke mode
+        expert_fail_step = max(1, steps // 3)
+        nonfinite_step = max(expert_fail_step + 1, 2 * steps // 3)
+        assert report.skipped_steps == [nonfinite_step]
+
+        events = TraceRecorder.load_jsonl(trace).events
+        injected = [e for e in events
+                    if e.cat == "fault" and e.name == "injected"]
+        kinds = {e.args.get("kind") for e in injected}
+        assert {"expert_failure", "nonfinite_injection"} <= kinds
+        by_kind = {e.args["kind"]: e for e in injected
+                   if "kind" in e.args}
+        assert by_kind["expert_failure"].args["step"] == expert_fail_step
+        assert (by_kind["nonfinite_injection"].args["step"]
+                == nonfinite_step)
+
+        skipped = [e for e in events if e.name == "step_skipped"]
+        assert [e.args["step"] for e in skipped] == [nonfinite_step]
+        saved = [e.args["step"] for e in events if e.name == "saved"]
+        assert saved == sorted(saved)
+        assert all(1 <= s <= steps for s in saved)
+
+    def test_describe_renders(self, chaos):
+        report, _ = chaos
+        text = report.describe()
+        assert "fault-free makespan" in text
+        assert "fault.recovered" in text
+
+    def test_deterministic_in_seed(self, chaos):
+        report, _ = chaos
+        again = run_chaos(seed=0, smoke=True)
+        assert again.losses == report.losses
+        assert again.faulted_makespan == report.faulted_makespan
+        assert again.skipped_steps == report.skipped_steps
+
+    def test_observer_restored(self):
+        assert obs.get_observer() is None
+        run_chaos(seed=1, smoke=True)
+        assert obs.get_observer() is None
+
+    def test_too_few_steps_rejected(self):
+        with pytest.raises(ValueError, match="steps"):
+            run_chaos(seed=0, steps=3)

@@ -1,5 +1,6 @@
 """Tests for the discrete-event multi-stream GPU simulator."""
 
+import numpy as np
 import pytest
 
 from repro.cluster.simulator import (
@@ -71,6 +72,24 @@ class TestBasics:
         s.add(b)
         with pytest.raises(RuntimeError, match="deadlock"):
             simulate(s)
+
+    def test_deadlock_diagnostic_names_blocked_ops(self):
+        """The error must list exactly the blocked ops with their
+        unmet dependencies, so a cycle is readable from the message."""
+        s = Schedule()
+        a = Op(work=1.0, label="ping")
+        b = Op(work=1.0, stream="other", deps=(a,), label="pong")
+        a.deps = (b,)
+        s.add(a)
+        s.add(b)
+        # A completed-before-deadlock op must NOT appear as blocked.
+        s.new_op(work=0.5, gpu=1, label="innocent")
+        with pytest.raises(RuntimeError) as exc:
+            simulate(s)
+        message = str(exc.value)
+        assert "ping <- unmet [pong]" in message
+        assert "pong <- unmet [ping]" in message
+        assert "innocent" not in message
 
 
 class TestStreams:
@@ -144,6 +163,85 @@ class TestInterference:
         model = InterferenceModel(slowdown={"compute": {"comm": 1.5}})
         assert model.rate("compute", ["comm", "comm", "comm"]) == \
             pytest.approx(1 / 1.5)
+
+
+def reference_host_schedule(ops):
+    """Independent list scheduler for interference-free (host) DAGs.
+
+    Fixed-point iteration over per-(gpu, stream) FIFO queues: a queue
+    head whose dependencies have finished starts at
+    ``max(stream available, dep end times)``.  For ``kind="host"`` ops
+    the event-driven simulator must agree exactly — rates are always
+    1.0, so spans are pure queueing arithmetic.
+    """
+    queues = {}
+    for op in ops:
+        queues.setdefault((op.gpu, op.stream), []).append(op)
+    avail = {key: 0.0 for key in queues}
+    spans = {}
+    while len(spans) < len(ops):
+        progressed = False
+        for key, queue in queues.items():
+            while queue:
+                op = queue[0]
+                if any(d not in spans for d in op.deps):
+                    break
+                start = max([avail[key]]
+                            + [spans[d][1] for d in op.deps])
+                spans[op] = (start, start + op.work)
+                avail[key] = start + op.work
+                queue.pop(0)
+                progressed = True
+        if not progressed:
+            raise RuntimeError("reference scheduler deadlocked")
+    makespan = max(end for _, end in spans.values()) if spans else 0.0
+    return makespan, spans
+
+
+class TestReferenceAgreement:
+    """The event-driven engine against an independent reference
+    implementation on large random DAGs (regression guard for the
+    reverse-dependents-index rewrite of the completion path)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_dag_agreement(self, seed):
+        rng = np.random.default_rng(seed)
+        s = Schedule()
+        ops = []
+        for i in range(300):
+            num_deps = int(rng.integers(0, 4)) if ops else 0
+            deps = tuple(ops[int(j)] for j in set(
+                rng.integers(0, len(ops), num_deps).tolist())) \
+                if num_deps else ()
+            work = float(rng.uniform(0.0, 0.05))
+            if rng.uniform() < 0.1:
+                work = 0.0  # exercise the instant-completion path
+            ops.append(s.new_op(
+                work=work, gpu=int(rng.integers(0, 4)),
+                stream=str(rng.choice(["s0", "s1"])),
+                kind="host", deps=deps, label=f"op{i}"))
+        ref_makespan, ref_spans = reference_host_schedule(s.ops)
+        result = simulate(s)
+        assert result.makespan == pytest.approx(ref_makespan)
+        for op in s.ops:
+            got, want = result.span(op), ref_spans[op]
+            assert got[0] == pytest.approx(want[0]), op.label
+            assert got[1] == pytest.approx(want[1]), op.label
+
+    def test_wide_fanout_agreement(self):
+        # One root feeding 200 dependents across GPUs: the shape the
+        # old O(N^2) dependency clearing was slowest on.
+        rng = np.random.default_rng(7)
+        s = Schedule()
+        root = s.new_op(work=0.01, kind="host", label="root")
+        leaves = [s.new_op(work=float(rng.uniform(0.001, 0.01)),
+                           gpu=g % 8, stream=f"s{g % 2}", kind="host",
+                           deps=(root,), label=f"leaf{g}")
+                  for g in range(200)]
+        s.new_op(work=0.0, kind="host", deps=tuple(leaves),
+                 label="join")
+        ref_makespan, _ = reference_host_schedule(s.ops)
+        assert simulate(s).makespan == pytest.approx(ref_makespan)
 
 
 class TestBusyTime:
