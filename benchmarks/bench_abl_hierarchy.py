@@ -10,6 +10,7 @@
 """
 
 from repro.bench.harness import Table
+from repro.bench.report import Metric, emit
 from repro.cluster.topology import ndv4_topology, nvswitch256_topology
 from repro.collectives.schedule import (
     linear_a2a_time,
@@ -40,6 +41,13 @@ def run(verbose: bool = True):
         print("Wider local domains (m = 256) and a third level keep "
               "the long-haul message count small at extreme scales — "
               "the Section 4.3 extension path.")
+    biggest = results[WORLDS[-1]]
+    emit("abl_hierarchy", "Ablation: 2DH hierarchy width", [
+        Metric("wide_domain_gain_32768", biggest[1] / biggest[2], "x",
+               higher_is_better=True),
+        Metric("threedh_gain_32768", biggest[1] / biggest[3], "x",
+               higher_is_better=True),
+    ], config={"worlds": list(WORLDS), "size_mib": SIZE // MIB})
     return results
 
 

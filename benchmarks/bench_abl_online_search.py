@@ -12,6 +12,7 @@ capacity-factor stream, compare cumulative MoE segment time under
 import numpy as np
 
 from repro.bench.harness import Table
+from repro.bench.report import Metric, emit
 from repro.cluster.topology import ndv4_topology
 from repro.core.config import MoEConfig
 from repro.models.workload import sample_capacity_factors
@@ -74,6 +75,14 @@ def run(verbose: bool = True):
         print("The online search approaches the oracle within a few "
               "percent while measuring each iteration once instead of "
               "eight times.")
+    emit("abl_online_search", "Ablation: online bucketed search", [
+        Metric("online_vs_oracle", online_total / oracle_total, "x",
+               higher_is_better=False),
+        Metric("worst_static_vs_oracle", worst / oracle_total, "x"),
+        Metric("measurement_saving",
+               oracle_measurements / online_measurements, "x",
+               higher_is_better=True),
+    ], config={"world": WORLD, "steps": STEPS})
     return {"oracle": oracle_total, "online": online_total,
             "best_static": best_static, "worst_static": worst}
 

@@ -14,6 +14,7 @@ proportional to MoE fflayer FLOPs).
 
 from conftest import accuracy_scale
 from repro.bench.harness import Table
+from repro.bench.report import Metric, emit
 from repro.nn.models import MoEClassifier
 from repro.train.experiments import make_task
 from repro.train.schedules import ConstantSchedule, StepSchedule
@@ -66,7 +67,17 @@ def run(verbose: bool = True):
         print("The anneal recovers most of top-2's accuracy at a "
               "fraction of its routed compute — the dynamic-sparsity "
               "use case of Section 4.1.")
-    return {row["name"]: row for row in rows}
+    by_name = {row["name"]: row for row in rows}
+    emit("abl_sparsity_schedule", "Ablation: dynamic top-k schedules", [
+        Metric("anneal_accuracy",
+               by_name["top-2 -> top-1 anneal"]["accuracy"], "fraction",
+               higher_is_better=True, tolerance=0.10),
+        Metric("anneal_mean_k",
+               by_name["top-2 -> top-1 anneal"]["mean_k"], "k"),
+        Metric("top2_accuracy", by_name["static top-2"]["accuracy"],
+               "fraction", higher_is_better=True, tolerance=0.10),
+    ], config={"steps": scale.steps, "seed": scale.seed})
+    return by_name
 
 
 def test_bench_abl_sparsity(once):

@@ -14,6 +14,7 @@ import numpy as np
 
 from conftest import accuracy_scale
 from repro.bench.harness import Table
+from repro.bench.report import Metric, emit
 from repro.models.workload import dynamic_capacity_trace
 from repro.train.experiments import train_moe
 
@@ -55,6 +56,13 @@ def run(verbose: bool = True):
         synth.show()
         print("Paper: the workload changes up to 4.38x within a single "
               "training run and differs across layers.")
+    emit("fig01", "Figure 1: dynamic MoE workload during training", [
+        Metric("measured_max_dynamic_range",
+               max(v[3] for v in measured.values()), "x",
+               higher_is_better=True, tolerance=0.15),
+        Metric("synthetic_max_dynamic_range",
+               max(v[3] for v in synthetic.values()), "x"),
+    ], config={"steps": scale.steps, "seed": scale.seed})
     return {"measured": measured, "synthetic": synthetic}
 
 

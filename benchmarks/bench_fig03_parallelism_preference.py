@@ -6,6 +6,7 @@ ratio P2/P1 above 1.0 means P2 wins.
 """
 
 from repro.bench.harness import Table
+from repro.bench.report import Metric, emit
 from repro.cluster.topology import ndv4_topology
 from repro.core.config import MoEConfig
 from repro.parallel.strategy import Parallelism, strategy_cost
@@ -39,6 +40,12 @@ def run(verbose: bool = True):
         table.show()
         print("Paper shape: P2 preferred at small f, P1 at large f; the "
               "crossover f shifts with k.")
+    emit("fig03", "Figure 3: P1 vs P2 runtime preference", [
+        Metric("p2_advantage_f1_k1", ratios[(1.0, 1)], "ratio",
+               higher_is_better=True),
+        Metric("p1_advantage_f16_k4", 1.0 / ratios[(16.0, 4)], "ratio",
+               higher_is_better=True),
+    ], config={"factors": list(FACTORS), "top_ks": list(TOP_KS)})
     return ratios
 
 

@@ -10,6 +10,7 @@ import os
 from collections import Counter
 
 from repro.bench.harness import Table
+from repro.bench.report import Metric, emit
 from repro.cluster.topology import ndv4_topology
 from repro.models.workload import typical_settings
 from repro.pipeline.schedule import all_strategies, pipeline_segment_time
@@ -43,6 +44,13 @@ def run(verbose: bool = True, worlds=WORLDS, limit: int | None = None):
         print(f"{len(wins)} distinct strategies are optimal somewhere "
               f"across {total} (setting, scale) samples — a static "
               "choice cannot win everywhere.")
+    emit("fig05", "Figure 5: optimal pipelining strategy distribution", [
+        Metric("distinct_winners", float(len(wins)), "strategies",
+               higher_is_better=True),
+        Metric("top_strategy_share",
+               wins.most_common(1)[0][1] / total, "fraction",
+               higher_is_better=False),
+    ], config={"worlds": list(worlds), "limit": limit})
     return wins
 
 

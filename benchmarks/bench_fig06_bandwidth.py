@@ -5,6 +5,7 @@
 """
 
 from repro.bench.harness import Table
+from repro.bench.report import Metric, emit
 from repro.cluster.linkmodel import a2a_bus_bandwidth, ib_write_bandwidth_curve
 from repro.cluster.topology import ndv4_topology
 from repro.collectives.schedule import linear_a2a_time
@@ -39,6 +40,13 @@ def run(verbose: bool = True):
         fig_b.show()
         print("Shape check: busbw collapses with scale at small S "
               "(paper Figure 6b).")
+    emit("fig06", "Figure 6: small-message bandwidth under-utilization", [
+        Metric("busbw_1mib_64gpus", series[64][0] / 1e9, "GB/s"),
+        Metric("busbw_1mib_2048gpus", series[2048][0] / 1e9, "GB/s"),
+        Metric("busbw_1gib_2048gpus", series[2048][2] / 1e9, "GB/s"),
+        Metric("small_msg_collapse_ratio", series[64][0] / series[2048][0],
+               "x", higher_is_better=None),
+    ], config={"worlds": list(worlds), "sizes_kib_max": sizes[-1] // KIB})
     return {"curve": list(zip(sizes, curve)), "busbw": series}
 
 

@@ -9,6 +9,7 @@ throughput at 2,048 GPUs).
 
 from repro.baselines.deepspeed_moe import deepspeed_fflayer_time
 from repro.bench.harness import Table
+from repro.bench.report import Metric, emit
 from repro.cluster.topology import ndv4_topology
 from repro.core.config import MoEConfig
 from repro.core.units import fmt_time
@@ -39,6 +40,11 @@ def run(verbose: bool = True):
         table.show()
         print(f"Slowdown at 2,048 GPUs: {times[2048] / times[1]:.1f}x "
               "(paper: 11.3x)")
+    emit("fig07", "Figure 7: DeepSpeed fflayer layout regression", [
+        Metric("slowdown_2048gpus", times[2048] / times[1], "x"),
+        Metric("fflayer_ms_1gpu", times[1] * 1e3, "ms"),
+        Metric("fflayer_ms_2048gpus", times[2048] * 1e3, "ms"),
+    ], config={"worlds": list(WORLDS)})
     return times
 
 

@@ -6,6 +6,7 @@ raw layout (W, dE, dC, M) reproduces the Figure 7 regression.
 """
 
 from repro.bench.harness import Table
+from repro.bench.report import Metric, emit
 from repro.cluster.gemm import expert_ffn_time
 from repro.cluster.topology import ndv4_topology
 from repro.core.config import MoEConfig
@@ -38,6 +39,13 @@ def run(verbose: bool = True):
         table.show()
         print("Flexible A2A keeps expert time flat across scales "
               "(paper Figure 10).")
+    flex_times = [flex for _, flex in results.values()]
+    emit("fig10", "Figure 10: Flexible All-to-All layout fix", [
+        Metric("gain_2048gpus", results[2048][0] / results[2048][1],
+               "x", higher_is_better=True),
+        Metric("flex_flatness", max(flex_times) / min(flex_times), "x",
+               higher_is_better=False),
+    ], config={"worlds": list(WORLDS)})
     return results
 
 

@@ -7,6 +7,7 @@ could not even run at 4,096 GPUs.
 """
 
 from repro.bench.harness import Table
+from repro.bench.report import Metric, emit
 from repro.cluster.topology import ndv4_topology
 from repro.collectives.schedule import (
     linear_a2a_time,
@@ -43,6 +44,17 @@ def run(verbose: bool = True):
                    [results[1 * MIB][w] for w in (1024, 2048)])
         print(f"Max small-message 2DH speedup at 1-2K GPUs: {best:.1f}x "
               "(paper: up to 20.7x)")
+    emit("fig20", "Figure 20: linear vs 2DH All-to-All scaling", [
+        Metric("twodh_speedup_1mib_2048",
+               results[1 * MIB][2048][0] / results[1 * MIB][2048][2],
+               "x", higher_is_better=True),
+        Metric("twodh_speedup_256mib_2048",
+               results[256 * MIB][2048][0] / results[256 * MIB][2048][2],
+               "x", higher_is_better=True),
+        Metric("linear_advantage_256mib_64",
+               results[256 * MIB][64][2] / results[256 * MIB][64][0],
+               "x"),
+    ], config={"worlds": list(WORLDS), "sizes_mib": [s // MIB for s in SIZES]})
     return results
 
 

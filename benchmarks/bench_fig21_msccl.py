@@ -6,6 +6,7 @@ while the Simple protocol wins at large ones.
 """
 
 from repro.bench.harness import Table
+from repro.bench.report import Metric, emit
 from repro.cluster.topology import ndv4_topology
 from repro.collectives.schedule import (
     Impl,
@@ -40,6 +41,18 @@ def run(verbose: bool = True):
                           *[fmt_time(t) for t in row])
         if verbose:
             table.show()
+    emit("fig21", "Figure 21: NCCL vs MSCCL 2DH implementations", [
+        Metric("msccl_gain_256gpus_1mib",
+               results[(256, 1 * MIB)][1] / results[(256, 1 * MIB)][2],
+               "x", higher_is_better=True),
+        Metric("ll128_gain_256gpus_1mib",
+               results[(256, 1 * MIB)][2] / results[(256, 1 * MIB)][3],
+               "x", higher_is_better=True),
+        Metric("msccl_recovery_64gpus_256mib",
+               results[(64, 256 * MIB)][1] / results[(64, 256 * MIB)][2],
+               "x", higher_is_better=True),
+    ], config={"worlds": list(WORLDS),
+               "sizes_mib": [s // MIB for s in SIZES]})
     return results
 
 

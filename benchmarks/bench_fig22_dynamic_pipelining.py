@@ -7,6 +7,7 @@ linear baseline at each scale.
 """
 
 from repro.bench.harness import Table
+from repro.bench.report import Metric, emit
 from repro.cluster.topology import ndv4_topology
 from repro.core.config import MoEConfig
 from repro.pipeline.adaptive import OnlinePipeliningSearch
@@ -56,6 +57,18 @@ def run(verbose: bool = True):
         print("Paper: up to 30% improvement at f=4 and up to 67% at "
               "f=16; the adaptive search always selects the best "
               "strategy.")
+    emit("fig22", "Figure 22: adaptive pipelining vs deg1 baseline", [
+        Metric("improvement_max_f4",
+               max(r[4.0][0] for r in results.values()),
+               "fraction", higher_is_better=True),
+        Metric("improvement_max_f16",
+               max(r[16.0][0] for r in results.values()),
+               "fraction", higher_is_better=True),
+        Metric("improvement_w64_f4", results[64][4.0][0], "fraction",
+               higher_is_better=True),
+        Metric("improvement_w64_f16", results[64][16.0][0], "fraction",
+               higher_is_better=True),
+    ], config={"worlds": list(WORLDS), "factors": list(FACTORS)})
     return results
 
 

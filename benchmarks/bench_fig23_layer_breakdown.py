@@ -12,6 +12,7 @@ Features are layered in the paper's order:
 """
 
 from repro.bench.harness import Table
+from repro.bench.report import Metric, emit
 from repro.cluster.topology import ndv4_topology
 from repro.core.config import MoEConfig
 from repro.core.units import fmt_time
@@ -75,6 +76,17 @@ def run(verbose: bool = True):
         print(f"End-to-end speedup: {speedups[0]:.2f}x at 16 GPUs "
               f"(paper 4.96x), {speedups[-1]:.2f}x at 2,048 GPUs "
               f"(paper 5.75x).")
+    emit("fig23", "Figure 23: single MoE layer breakdown", [
+        Metric("tutel_speedup_16gpus", speedups[0], "x",
+               higher_is_better=True),
+        Metric("tutel_speedup_2048gpus", speedups[-1], "x",
+               higher_is_better=True),
+        Metric("fairseq_step_ms_2048gpus",
+               rows["(1) fairseq"][-1] * 1e3, "ms"),
+        Metric("tutel_step_ms_2048gpus",
+               rows["(5) +adaptive parallelism"][-1] * 1e3, "ms",
+               higher_is_better=False),
+    ], config={"worlds": list(WORLDS)})
     return rows
 
 

@@ -12,6 +12,7 @@ import time
 import numpy as np
 
 from repro.bench.harness import Table
+from repro.bench.report import Metric, emit
 from repro.core.units import fmt_time
 from repro.moe.encode import (
     dense_decode,
@@ -65,6 +66,18 @@ def run(verbose: bool = True):
         print("Real NumPy timing; the dense cost grows ~quadratically "
               "in tokens (dC tracks T), the sparse cost linearly — the "
               "paper's Figure 24 gap.")
+    # Wall-clock numbers: recorded for the report but excluded from the
+    # regression gate by default (kind="measured").
+    top = max(TOKEN_COUNTS)
+    emit("fig24", "Figure 24: encode/decode kernel time (measured)", [
+        Metric("sparse_speedup_4096tok", results[top][0] / results[top][1],
+               "x", kind="measured", higher_is_better=True),
+        Metric("dense_ms_4096tok", results[top][0] * 1e3, "ms",
+               kind="measured"),
+        Metric("sparse_ms_4096tok", results[top][1] * 1e3, "ms",
+               kind="measured"),
+    ], config={"token_counts": list(TOKEN_COUNTS),
+               "model_dim": MODEL_DIM, "experts": EXPERTS})
     return results
 
 

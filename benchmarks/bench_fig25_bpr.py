@@ -8,6 +8,7 @@ paper calls it "crucial for computer vision MoE models".
 
 from conftest import accuracy_scale
 from repro.bench.harness import Table
+from repro.bench.report import Metric, emit
 from repro.train.experiments import bpr_sweep
 
 FACTORS = (0.1, 0.25, 0.5, 1.0, 1.25)
@@ -26,6 +27,15 @@ def run(verbose: bool = True):
         table.show()
         print("Paper: BPR is crucial at low capacity factors; the "
               "curves converge as f approaches the training value.")
+    plain = dict(curves["w/o BPR"])
+    bpr = dict(curves["w/ BPR"])
+    low = FACTORS[0]
+    emit("fig25", "Figure 25: batch prioritized routing", [
+        Metric("bpr_advantage_low_f", bpr[low] - plain[low], "fraction",
+               higher_is_better=True, tolerance=0.15),
+        Metric("bpr_accuracy_low_f", bpr[low], "fraction",
+               higher_is_better=True, tolerance=0.10),
+    ], config={"factors": list(FACTORS), "seed": scale.seed})
     return curves
 
 

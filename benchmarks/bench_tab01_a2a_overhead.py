@@ -6,6 +6,7 @@ speedup if All-to-All were fully hidden behind computation.
 """
 
 from repro.bench.harness import Table
+from repro.bench.report import Metric, emit
 from repro.cluster.topology import ndv4_topology
 from repro.core.config import MoEConfig
 from repro.core.units import fmt_time
@@ -51,6 +52,13 @@ def run(verbose: bool = True):
                       f"{speedup:.2f}x ({paper_speedup:.2f}x)")
     if verbose:
         table.show()
+    emit("tab01", "Table 1: All-to-All overhead ratio", [
+        Metric(f"a2a_ratio_{w}gpus", results[w][3], "fraction")
+        for w in WORLDS
+    ] + [
+        Metric("potential_speedup_256gpus", results[256][4], "x",
+               higher_is_better=True),
+    ], config={"worlds": list(WORLDS)})
     return results
 
 

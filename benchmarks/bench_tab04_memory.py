@@ -6,6 +6,7 @@ quadratically; the sparse path's index vectors grow linearly.
 """
 
 from repro.bench.harness import Table
+from repro.bench.report import Metric, emit
 from repro.cluster.memory import dense_moe_memory, sparse_moe_memory
 from repro.core.config import MoEConfig
 from repro.core.units import GIB
@@ -43,6 +44,14 @@ def run(verbose: bool = True):
         print("Largest dense tensors at 32K tokens:")
         for name, nbytes in dense_moe_memory(_cfg(32768)).top(4):
             print(f"  {name}: {nbytes / GIB:.2f} GiB")
+    emit("tab04", "Table 4: single-MoE-layer GPU memory", [
+        Metric("memory_saving_4096", results[4096][2], "fraction",
+               higher_is_better=True),
+        Metric("memory_saving_32768", results[32768][2], "fraction",
+               higher_is_better=True),
+        Metric("sparse_gib_32768", results[32768][1], "GiB",
+               higher_is_better=False),
+    ], config={"tokens": list(TOKENS)})
     return results
 
 

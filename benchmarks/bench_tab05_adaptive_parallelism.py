@@ -7,6 +7,7 @@
 """
 
 from repro.bench.harness import Table
+from repro.bench.report import Metric, emit
 from repro.cluster.topology import ndv4_topology
 from repro.core.config import MoEConfig
 from repro.models.workload import sample_capacity_factors
@@ -93,6 +94,20 @@ def run(verbose: bool = True):
               "for parameter-heavy settings and P1 for token-heavy "
               "ones, and beats both statics simultaneously on the "
               "hybrid stream.")
+    emit("tab05", "Table 5: adaptive parallelism switching", [
+        Metric("improvement_vs_p1_f1",
+               a_rows[(Parallelism.P1_EP_DP, 1.0)], "fraction",
+               higher_is_better=True),
+        Metric("improvement_vs_p2_f16",
+               a_rows[(Parallelism.P2_EP_MP, 16.0)], "fraction",
+               higher_is_better=True),
+        Metric("hybrid_improvement_vs_p1",
+               hybrid[Parallelism.P1_EP_DP], "fraction",
+               higher_is_better=True),
+        Metric("hybrid_improvement_vs_p2",
+               hybrid[Parallelism.P2_EP_MP], "fraction",
+               higher_is_better=True),
+    ], config={"world": WORLD})
     return {"a": a_rows, "b": b_rows, "hybrid": hybrid}
 
 

@@ -6,6 +6,7 @@ backbone; the MoE columns add our modelled per-layer overheads.
 """
 
 from repro.bench.harness import Table
+from repro.bench.report import Metric, emit
 from repro.models.swin import SWINV2_B, swinv2_moe_speed
 from repro.runtime.plan import FAIRSEQ_FEATURES, TUTEL_FEATURES
 
@@ -45,6 +46,17 @@ def run(verbose: bool = True):
             f"({paper_st:.2f}x/{paper_si:.2f}x)")
     if verbose:
         table.show()
+    fair32, tutel32 = results[32]
+    emit("tab08", "Table 8: SwinV2-MoE end-to-end speed", [
+        Metric("train_speedup_32gpus",
+               tutel32.train_rate / fair32.train_rate, "x",
+               higher_is_better=True),
+        Metric("infer_speedup_32gpus",
+               tutel32.infer_rate / fair32.infer_rate, "x",
+               higher_is_better=True),
+        Metric("tutel_train_rate_128gpus", results[128][1].train_rate,
+               "img/s", higher_is_better=True),
+    ], config={"worlds": list(WORLDS)})
     return results
 
 

@@ -9,6 +9,7 @@ the sign of every gap.
 
 from conftest import accuracy_scale
 from repro.bench.harness import Table
+from repro.bench.report import Metric, emit
 from repro.train.experiments import dense_vs_sparse
 
 
@@ -28,6 +29,15 @@ def run(verbose: bool = True):
         print(f"MoE gain: {moe.eval_accuracy - dense.eval_accuracy:+.3f}"
               " eval accuracy (paper: +1.3 top-1 on IN-22K); lower "
               "train loss mirrors Table 11's loss column.")
+    emit("tab09", "Table 9: sparse vs dense accuracy", [
+        Metric("moe_eval_accuracy", moe.eval_accuracy, "fraction",
+               higher_is_better=True, tolerance=0.10),
+        Metric("dense_eval_accuracy", dense.eval_accuracy, "fraction",
+               higher_is_better=True, tolerance=0.10),
+        Metric("moe_accuracy_gain",
+               moe.eval_accuracy - dense.eval_accuracy, "fraction",
+               higher_is_better=True, tolerance=0.5),
+    ], config={"steps": scale.steps, "seed": scale.seed})
     return dense, moe
 
 

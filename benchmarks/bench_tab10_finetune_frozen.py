@@ -10,6 +10,7 @@ the pre-training learned.
 
 from conftest import accuracy_scale
 from repro.bench.harness import Table
+from repro.bench.report import Metric, emit
 from repro.train.experiments import finetune_frozen_vs_tuned
 
 
@@ -26,6 +27,14 @@ def run(verbose: bool = True):
         print("Paper: tuned MoE underperforms the dense baseline; "
               "fixing the MoE layers in fine-tuning recovers the "
               "advantage.")
+    emit("tab10", "Table 10: fine-tuning with frozen MoE layers", [
+        Metric("fixed_accuracy", results["fixed"], "fraction",
+               higher_is_better=True, tolerance=0.10),
+        Metric("tuned_accuracy", results["tuned"], "fraction",
+               higher_is_better=True, tolerance=0.10),
+        Metric("freeze_advantage", results["fixed"] - results["tuned"],
+               "fraction", tolerance=0.5),
+    ], config={"steps": scale.steps, "seed": scale.seed})
     return results
 
 

@@ -9,6 +9,7 @@ predicted by construction.
 
 from conftest import accuracy_scale
 from repro.bench.harness import Table
+from repro.bench.report import Metric, emit
 from repro.models.swin import SWINV2_S, moe_parameter_count
 from repro.train.experiments import expert_count_sweep, train_dense
 
@@ -36,6 +37,17 @@ def run(verbose: bool = True):
         best = max(results, key=lambda e: results[e].eval_accuracy)
         print(f"Best expert count: {best} (paper: 32 and 64 perform "
               "best; the task has 32 latent clusters).")
+    emit("tab11", "Table 11: expert-count ablation", [
+        Metric("best_moe_accuracy",
+               max(r.eval_accuracy for r in results.values()),
+               "fraction", higher_is_better=True, tolerance=0.10),
+        Metric("dense_accuracy", dense.eval_accuracy, "fraction",
+               higher_is_better=True, tolerance=0.10),
+        Metric("best_expert_count",
+               float(max(results, key=lambda e: results[e].eval_accuracy)),
+               "experts", tolerance=1.0),
+    ], config={"experts": list(EXPERTS), "steps": scale.steps,
+               "seed": scale.seed})
     return dense, results
 
 

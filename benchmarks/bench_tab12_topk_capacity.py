@@ -8,6 +8,7 @@ inference GFLOPs/speed columns come from the SwinV2 cost model.
 
 from conftest import accuracy_scale
 from repro.bench.harness import Table
+from repro.bench.report import Metric, emit
 from repro.models.swin import SWINV2_B, inference_gflops
 from repro.train.experiments import topk_capacity_ablation
 
@@ -26,6 +27,17 @@ def run(verbose: bool = True):
         table.show()
         print("Paper shape: accuracy falls slowly as infer-f shrinks "
               "(38.6 -> 38.0 for k=1), k=2 is at least as accurate.")
+    by_key = {(r["k"], r["train_f"], r["infer_f"]): r["accuracy"]
+              for r in rows}
+    emit("tab12", "Table 12: top-k / capacity ablation", [
+        Metric("k1_full_capacity_accuracy", by_key[(1, 1.0, 1.0)],
+               "fraction", higher_is_better=True, tolerance=0.10),
+        Metric("k2_full_capacity_accuracy", by_key[(2, 1.0, 1.0)],
+               "fraction", higher_is_better=True, tolerance=0.10),
+        Metric("k1_low_capacity_drop",
+               by_key[(1, 1.0, 1.0)] - by_key[(1, 1.0, 0.5)],
+               "fraction", tolerance=0.5),
+    ], config={"steps": scale.steps, "seed": scale.seed})
     return rows
 
 

@@ -1,5 +1,7 @@
 """Bench harness utilities shared by the benchmarks/ scripts."""
 
 from repro.bench.harness import Table, format_speedup, geometric_mean
+from repro.bench.report import BenchResult, Metric, emit
 
-__all__ = ["Table", "format_speedup", "geometric_mean"]
+__all__ = ["Table", "format_speedup", "geometric_mean",
+           "BenchResult", "Metric", "emit"]

@@ -49,14 +49,15 @@ class Table:
         for row in self.rows:
             for i, cell in enumerate(row):
                 widths[i] = max(widths[i], len(cell))
-        lines = [f"== {self.title} =="]
-        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
-        lines.append(header)
-        lines.append("-" * len(header))
-        for row in self.rows:
-            lines.append("  ".join(c.ljust(w)
-                                   for c, w in zip(row, widths)))
-        return "\n".join(lines)
+        title = f"== {self.title} =="
+        header = "  ".join(c.ljust(w)
+                           for c, w in zip(self.columns, widths)).rstrip()
+        body = ["  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+                for row in self.rows]
+        # The rule must span the widest rendered line — a long title (or
+        # short header over wide rows) used to leave it undersized.
+        rule = "-" * max(len(line) for line in [title, header, *body])
+        return "\n".join([title, header, rule, *body])
 
     def show(self) -> None:
         print(self.render())

@@ -8,6 +8,9 @@ Usage::
     python -m repro info                 # library / substrate summary
     python -m repro obs                  # instrumented demo + Chrome trace
     python -m repro chaos --seed 0       # fault-injection scenario
+    python -m repro analyze fig22        # critical path + attribution
+    python -m repro report               # aggregate BENCH_*.json records
+    python -m repro regress              # compare against baselines
 
 Each bench is the same module pytest-benchmark runs; the CLI imports
 its ``run()`` and prints the full table.  Setting ``REPRO_TRACE=path``
@@ -142,7 +145,118 @@ def _cmd_info() -> None:
           "for paper-vs-measured results")
 
 
-def _cmd_obs(trace_path: str, jsonl_path: str | None, steps: int) -> None:
+def _cmd_analyze(target: str, world: int, factor: float,
+                 trace_out: str | None) -> None:
+    """Critical-path / attribution analysis (``repro analyze``).
+
+    ``target`` is either a Chrome-trace JSON written by
+    :func:`repro.cluster.trace.save_chrome_trace` (re-attributed after
+    the fact) or the keyword ``fig22``, which rebuilds the paper's
+    pipelining segment at ``--world``/``--factor`` and contrasts the
+    unpipelined baseline against the adaptive oracle strategy.
+    """
+    from repro.cluster.simulator import simulate
+    from repro.cluster.trace import load_sim_trace, save_chrome_trace
+    from repro.obs import analysis
+
+    if target != "fig22":
+        if not Path(target).is_file():
+            raise SystemExit(
+                f"analyze target must be 'fig22' or a trace JSON file, "
+                f"got {target!r}")
+        result, schedule = load_sim_trace(target)
+        report = analysis.analyze(result, schedule)
+        print(f"== analysis of {target} ==")
+        print(report.render())
+        if trace_out:
+            save_chrome_trace(result, trace_out, critical=report.critical)
+            print(f"[analyze] wrote critical-path-flagged trace to "
+                  f"{trace_out}")
+        return
+
+    from repro.cluster.topology import ndv4_topology
+    from repro.core.config import MoEConfig
+    from repro.pipeline.schedule import (
+        PipelineStrategy,
+        all_strategies,
+        build_pipeline_schedule,
+    )
+
+    cfg = MoEConfig(world_size=world, experts_per_gpu=2, model_dim=4096,
+                    hidden_dim=4096, tokens_per_gpu=4096, top_k=2,
+                    capacity_factor=factor)
+    topo = ndv4_topology(world)
+
+    def analyzed(strategy: PipelineStrategy):
+        schedule = build_pipeline_schedule(cfg, topo, strategy)
+        result = simulate(schedule)
+        return result, analysis.analyze(result, schedule)
+
+    baseline = PipelineStrategy(degree=1)
+    best = min(all_strategies(),
+               key=lambda s: simulate(
+                   build_pipeline_schedule(cfg, topo, s)).makespan)
+    base_result, base_report = analyzed(baseline)
+    best_result, best_report = analyzed(best)
+
+    print(f"== Figure 22 segment, {world} GPUs, f={factor:g} ==\n")
+    print(f"-- baseline {baseline.describe()} --")
+    print(base_report.render())
+    print()
+    print(f"-- adaptive choice {best.describe()} --")
+    print(best_report.render())
+    print()
+    speedup = base_result.makespan / best_result.makespan
+    print(f"adaptive vs unpipelined: {speedup:.2f}x faster; overlap "
+          f"efficiency {base_report.overlap_efficiency:.1%} -> "
+          f"{best_report.overlap_efficiency:.1%}")
+    if trace_out:
+        save_chrome_trace(best_result, trace_out,
+                          critical=best_report.critical)
+        print(f"[analyze] wrote critical-path-flagged trace to "
+              f"{trace_out}")
+
+
+def _cmd_report(bench_dir: str, write_baselines_dir: str | None) -> None:
+    """Aggregate ``BENCH_*.json`` records (``repro report``)."""
+    from repro.bench import report as bench_report
+
+    results = bench_report.load_results(bench_dir)
+    if not results:
+        raise SystemExit(f"no BENCH_*.json files in {bench_dir} "
+                         "(run benches with REPRO_BENCH_DIR set)")
+    print(bench_report.render_report(results))
+    if write_baselines_dir:
+        paths = bench_report.write_baselines(results, write_baselines_dir)
+        print(f"wrote {len(paths)} baseline file(s) to "
+              f"{write_baselines_dir}")
+
+
+def _cmd_regress(bench_dir: str, baselines_dir: str,
+                 include_measured: bool) -> int:
+    """Compare a bench run against committed baselines
+    (``repro regress``); exit 1 on regression."""
+    from repro.bench import report as bench_report
+
+    current = bench_report.load_results(bench_dir)
+    baselines = bench_report.load_results(baselines_dir)
+    if not baselines:
+        raise SystemExit(f"no baselines in {baselines_dir}")
+    if not current:
+        raise SystemExit(f"no BENCH_*.json files in {bench_dir} "
+                         "(run benches with REPRO_BENCH_DIR set)")
+    comparisons = bench_report.compare(current, baselines,
+                                       include_measured=include_measured)
+    print(bench_report.render_comparisons(comparisons))
+    return 1 if bench_report.has_failures(comparisons) else 0
+
+
+def _default_baselines_dir() -> str:
+    return str(_benchmarks_dir() / "baselines")
+
+
+def _cmd_obs(trace_path: str, jsonl_path: str | None, steps: int,
+             metrics_json: str | None = None) -> None:
     """Instrumented end-to-end demo of the ``repro.obs`` subsystem.
 
     Runs (1) a few real training steps of a small MoE classifier so the
@@ -224,6 +338,12 @@ def _cmd_obs(trace_path: str, jsonl_path: str | None, steps: int) -> None:
         if jsonl_path:
             ob.recorder.dump_jsonl(jsonl_path)
             print(f"[obs] wrote JSONL events to {jsonl_path}")
+        if metrics_json:
+            import json
+            Path(metrics_json).write_text(
+                json.dumps(ob.registry.snapshot(), indent=1,
+                           sort_keys=True) + "\n")
+            print(f"[obs] wrote metrics snapshot to {metrics_json}")
     finally:
         obs.disable()
 
@@ -258,6 +378,49 @@ def main(argv: list[str] | None = None) -> int:
                          help="also dump raw events as JSONL")
     obs_cmd.add_argument("--steps", type=int, default=8,
                          help="training steps to record")
+    obs_cmd.add_argument("--metrics-json", default=None,
+                         help="dump the metrics registry snapshot "
+                              "as JSON here")
+    analyze_cmd = sub.add_parser(
+        "analyze",
+        help="critical-path + attribution analysis of a schedule/trace")
+    analyze_cmd.add_argument(
+        "target", help="'fig22' or a trace JSON from save_chrome_trace")
+    analyze_cmd.add_argument("--world", type=int, default=64,
+                             help="world size for the fig22 segment")
+    analyze_cmd.add_argument("--factor", type=float, default=4.0,
+                             help="capacity factor f for the fig22 "
+                                  "segment")
+    analyze_cmd.add_argument("--trace", default=None,
+                             help="write a critical-path-flagged Chrome "
+                                  "trace here")
+    report_cmd = sub.add_parser(
+        "report", help="aggregate BENCH_*.json records into one table")
+    report_cmd.add_argument("--bench-dir",
+                            default=os.environ.get("REPRO_BENCH_DIR",
+                                                   "bench-results"),
+                            help="directory holding BENCH_*.json "
+                                 "(default: $REPRO_BENCH_DIR or "
+                                 "./bench-results)")
+    report_cmd.add_argument("--write-baselines", default=None,
+                            metavar="DIR",
+                            help="also persist the records as baselines "
+                                 "(e.g. benchmarks/baselines)")
+    regress_cmd = sub.add_parser(
+        "regress",
+        help="compare BENCH_*.json against committed baselines; "
+             "exit 1 on regression")
+    regress_cmd.add_argument("--bench-dir",
+                             default=os.environ.get("REPRO_BENCH_DIR",
+                                                    "bench-results"),
+                             help="directory holding the current "
+                                  "BENCH_*.json records")
+    regress_cmd.add_argument("--baselines", default=None,
+                             help="baseline directory (default: "
+                                  "benchmarks/baselines)")
+    regress_cmd.add_argument("--include-measured", action="store_true",
+                             help="also gate on wall-clock metrics "
+                                  "(noisy; off by default)")
     chaos_cmd = sub.add_parser(
         "chaos", help="seeded fault-injection scenario on both substrates")
     chaos_cmd.add_argument("--seed", type=int, default=0,
@@ -279,7 +442,15 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "info":
         _cmd_info()
     elif args.command == "obs":
-        _cmd_obs(args.trace, args.jsonl, args.steps)
+        _cmd_obs(args.trace, args.jsonl, args.steps, args.metrics_json)
+    elif args.command == "analyze":
+        _cmd_analyze(args.target, args.world, args.factor, args.trace)
+    elif args.command == "report":
+        _cmd_report(args.bench_dir, args.write_baselines)
+    elif args.command == "regress":
+        return _cmd_regress(args.bench_dir,
+                            args.baselines or _default_baselines_dir(),
+                            args.include_measured)
     elif args.command == "chaos":
         _cmd_chaos(args.seed, args.steps, args.gpus, args.smoke,
                    args.checkpoint_dir, args.trace)

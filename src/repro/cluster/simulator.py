@@ -70,6 +70,12 @@ class Op:
         Ops that must complete before this one may start.
     label:
         Free-form tag for debugging and result inspection.
+    latency:
+        The bandwidth-independent share of ``work`` in seconds
+        (per-message overheads, wire latency, local stride copies).
+        The what-if analysis in :mod:`repro.obs.analysis` uses it as
+        the floor a communication op keeps under infinite network
+        bandwidth; 0 means "fully bandwidth-bound".
     """
 
     work: float
@@ -78,12 +84,16 @@ class Op:
     kind: str = "compute"
     deps: tuple["Op", ...] = ()
     label: str = ""
+    latency: float = 0.0
     _uid: int = field(default_factory=itertools.count().__next__, repr=False)
 
     def __post_init__(self) -> None:
         if self.work < 0 or not math.isfinite(self.work):
             raise ValueError(f"op work must be finite and >= 0, "
                              f"got {self.work}")
+        if self.latency < 0 or not math.isfinite(self.latency):
+            raise ValueError(f"op latency must be finite and >= 0, "
+                             f"got {self.latency}")
 
     def __hash__(self) -> int:
         return self._uid

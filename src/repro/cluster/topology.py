@@ -174,6 +174,22 @@ class ClusterTopology:
         from dataclasses import replace
         return replace(self, num_gpus=num_gpus)
 
+    def with_infinite_bandwidth(self) -> "ClusterTopology":
+        """Both fabrics with unbounded bandwidth, per-message costs kept.
+
+        The counterfactual behind the what-if analysis
+        (:mod:`repro.obs.analysis`): collective time collapses to its
+        alpha/overhead floor, so any remaining makespan gap is latency-
+        or compute-bound and no bandwidth upgrade can recover it.
+        """
+        from dataclasses import replace
+        import math
+        unbounded = [LinkSpec(bandwidth=math.inf, latency=link.latency,
+                              message_overhead=link.message_overhead)
+                     for link in (self.intra_link, self.inter_link)]
+        return replace(self, intra_link=unbounded[0],
+                       inter_link=unbounded[1])
+
     def with_degraded_inter_link(self, factor: float) -> "ClusterTopology":
         """Inter-node fabric derated to ``factor`` of nominal bandwidth.
 

@@ -1,9 +1,21 @@
-"""Chrome-trace export for simulator results.
+"""Chrome-trace export (and re-import) for simulator results.
 
 Converts a :class:`SimResult` into the Trace Event Format understood by
 ``chrome://tracing`` / Perfetto, with one process row per GPU and one
 thread row per stream — the standard way to eyeball how well a
 pipelining schedule overlaps communication and computation.
+
+Two analysis-grade extensions over a plain span dump:
+
+* **Critical-path flagging** — pass the op chain from
+  :func:`repro.obs.analysis.critical_path` and those spans are exported
+  under their own ``critical`` category, linked start-to-start by flow
+  events (``ph: "s"``/``"f"``) so the chain reads as one arrow sequence
+  in the viewer.
+* **DAG round-trip** — every span embeds its op ``uid`` and dependency
+  uids in ``args``, so :func:`load_sim_trace` can rebuild the schedule
+  and a ``SimResult`` from the file alone.  ``repro analyze
+  <trace.json>`` uses this to re-attribute traces after the fact.
 """
 
 from __future__ import annotations
@@ -11,9 +23,17 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.cluster.simulator import SimResult
+from repro.cluster.simulator import Op, Schedule, SimResult
 
-__all__ = ["to_chrome_trace", "save_chrome_trace"]
+__all__ = [
+    "CAT_CRITICAL",
+    "to_chrome_trace",
+    "save_chrome_trace",
+    "load_sim_trace",
+]
+
+#: Category carried by critical-path spans and their flow events.
+CAT_CRITICAL = "critical"
 
 _COLORS = {
     "compute": "thread_state_running",
@@ -24,37 +44,115 @@ _COLORS = {
 
 
 def to_chrome_trace(result: SimResult,
-                    time_scale: float = 1e6) -> list[dict]:
+                    time_scale: float = 1e6,
+                    critical: list[Op] | None = None) -> list[dict]:
     """Trace events (``ph: "X"`` complete events) for every op span.
 
     ``time_scale`` converts simulated seconds into trace microseconds.
     Zero-duration bookkeeping ops (barriers) are emitted as instant
-    events so they remain visible.
+    events so they remain visible.  Ops contained in ``critical`` are
+    exported under the ``critical`` category (with
+    ``args.critical_index`` giving their position in the chain), and
+    consecutive chain entries are linked by flow events.
     """
+    critical = critical or []
+    order = {op: i for i, op in enumerate(critical)}
     events: list[dict] = []
     for op, (start, end) in sorted(result.spans.items(),
-                                   key=lambda kv: kv[1][0]):
+                                   key=lambda kv: (kv[1][0], kv[0]._uid)):
+        args = {"kind": op.kind, "work_seconds": op.work,
+                "uid": op._uid, "deps": [d._uid for d in op.deps]}
+        if op.latency > 0:
+            args["latency_seconds"] = op.latency
+        if op in order:
+            args["critical_index"] = order[op]
         base = {
             "name": op.label or op.kind,
+            "cat": CAT_CRITICAL if op in order else "sim",
             "pid": f"gpu{op.gpu}",
             "tid": op.stream,
             "ts": start * time_scale,
             "cname": _COLORS.get(op.kind, "grey"),
-            "args": {"kind": op.kind, "work_seconds": op.work},
+            "args": args,
         }
         if end > start:
             events.append({**base, "ph": "X",
                            "dur": (end - start) * time_scale})
         else:
             events.append({**base, "ph": "i", "s": "t"})
+    for i, (a, b) in enumerate(zip(critical, critical[1:])):
+        a_end = result.spans[a][1]
+        b_start = result.spans[b][0]
+        flow = {"name": "critical_path", "cat": CAT_CRITICAL, "id": i}
+        events.append({**flow, "ph": "s", "pid": f"gpu{a.gpu}",
+                       "tid": a.stream, "ts": a_end * time_scale})
+        events.append({**flow, "ph": "f", "bp": "e",
+                       "pid": f"gpu{b.gpu}", "tid": b.stream,
+                       "ts": b_start * time_scale})
     return events
 
 
 def save_chrome_trace(result: SimResult, path: str | Path,
-                      time_scale: float = 1e6) -> Path:
+                      time_scale: float = 1e6,
+                      critical: list[Op] | None = None) -> Path:
     """Write ``result`` as a chrome://tracing JSON file."""
     path = Path(path)
-    payload = {"traceEvents": to_chrome_trace(result, time_scale),
-               "displayTimeUnit": "ms"}
+    payload = {"traceEvents": to_chrome_trace(result, time_scale,
+                                              critical),
+               "displayTimeUnit": "ms",
+               "otherData": {"timeScale": time_scale}}
     path.write_text(json.dumps(payload, indent=1))
     return path
+
+
+def load_sim_trace(path: str | Path) -> tuple[SimResult, Schedule]:
+    """Rebuild a :class:`SimResult` and its op DAG from a saved trace.
+
+    Only traces written by :func:`save_chrome_trace` (which embed op
+    uids and dependency lists in ``args``) can be loaded; anything
+    else raises ``ValueError``.  Spans are converted back to simulated
+    seconds via the file's recorded time scale.
+    """
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    events = payload.get("traceEvents", [])
+    time_scale = float(payload.get("otherData", {})
+                       .get("timeScale", 1e6))
+
+    ops: dict[int, Op] = {}
+    spans: dict[int, tuple[float, float]] = {}
+    dep_uids: dict[int, list[int]] = {}
+    for event in events:
+        args = event.get("args", {})
+        if event.get("ph") not in ("X", "i") or "uid" not in args:
+            continue
+        uid = int(args["uid"])
+        pid = str(event.get("pid", "gpu0"))
+        gpu = int(pid.removeprefix("gpu")) if pid.startswith("gpu") else 0
+        op = Op(work=float(args.get("work_seconds", 0.0)), gpu=gpu,
+                stream=str(event.get("tid", "compute")),
+                kind=str(args.get("kind", "compute")),
+                latency=float(args.get("latency_seconds", 0.0)),
+                label=str(event.get("name", "")))
+        ops[uid] = op
+        dep_uids[uid] = [int(d) for d in args.get("deps", [])]
+        start = float(event["ts"]) / time_scale
+        dur = float(event.get("dur", 0.0)) / time_scale
+        spans[uid] = (start, start + dur)
+    if not ops:
+        raise ValueError(
+            f"{path} carries no replayable op spans (was it written by "
+            "save_chrome_trace?)")
+    for uid, op in ops.items():
+        missing = [d for d in dep_uids[uid] if d not in ops]
+        if missing:
+            raise ValueError(
+                f"{path}: op uid {uid} depends on unknown uid(s) "
+                f"{missing}")
+        op.deps = tuple(ops[d] for d in dep_uids[uid])
+    schedule = Schedule(ops=list(ops.values()))
+    makespan = max(end for _, end in spans.values())
+    result = SimResult(
+        makespan=makespan,
+        spans={op: spans[uid] for uid, op in ops.items()})
+    return result, schedule

@@ -9,7 +9,8 @@ owns named instruments created on first use:
   capacity factor);
 * :class:`Histogram` — accumulated distributions, the backing store of
   every ``span(...)`` / ``@timed`` measurement (count / total / min /
-  max / mean, in seconds for timers).
+  max / mean plus reservoir-sampled p50/p95/p99, in seconds for
+  timers).
 
 Instruments are plain attribute-update objects — no locks, no label
 cartesian products — because the substrate is single-process NumPy and
@@ -19,9 +20,15 @@ the hot path must stay cheap even when observability is enabled.
 from __future__ import annotations
 
 import math
+import random
+import zlib
 from dataclasses import dataclass, field
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "RESERVOIR_SIZE"]
+
+#: Number of samples each histogram keeps for quantile estimation.
+RESERVOIR_SIZE = 256
 
 
 @dataclass
@@ -56,9 +63,13 @@ class Histogram:
     """A streaming distribution summary (no bucket boundaries needed).
 
     Timers observe durations in seconds; anything else can observe any
-    non-negative or negative float — only summary statistics are kept,
-    so memory stays O(1) per instrument regardless of observation
-    count.
+    non-negative or negative float.  Besides the running aggregates, a
+    fixed-size uniform reservoir (Vitter's Algorithm R) of at most
+    :data:`RESERVOIR_SIZE` samples backs the p50/p95/p99 estimates, so
+    memory stays O(1) per instrument regardless of observation count.
+    The reservoir's RNG is seeded from the instrument name, so
+    identical observation sequences always produce identical quantiles
+    — no global random state is consumed.
     """
 
     name: str
@@ -66,6 +77,11 @@ class Histogram:
     total: float = 0.0
     min: float = math.inf
     max: float = -math.inf
+    _reservoir: list[float] = field(default_factory=list, repr=False)
+    _rng: random.Random = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(zlib.crc32(self.name.encode("utf-8")))
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -74,10 +90,36 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if len(self._reservoir) < RESERVOIR_SIZE:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < RESERVOIR_SIZE:
+                self._reservoir[slot] = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Reservoir-estimated quantile ``q`` in [0, 1].
+
+        Exact while ``count <= RESERVOIR_SIZE``; a uniform-sample
+        estimate beyond that.  Linear interpolation between order
+        statistics; 0.0 when nothing was observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        pos = q * (len(ordered) - 1)
+        lo = math.floor(pos)
+        hi = math.ceil(pos)
+        if lo == hi:
+            return ordered[lo]
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
     def summary(self) -> dict[str, float]:
         return {
@@ -86,6 +128,9 @@ class Histogram:
             "mean": self.mean,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 
@@ -137,5 +182,6 @@ class MetricsRegistry:
             lines.append(
                 f"  histogram  {name:40s} n={h.count} "
                 f"mean={h.mean:.3e} min={h.min:.3e} max={h.max:.3e} "
-                f"total={h.total:.3e}")
+                f"p50={h.quantile(0.50):.3e} p95={h.quantile(0.95):.3e} "
+                f"p99={h.quantile(0.99):.3e} total={h.total:.3e}")
         return "\n".join(lines)

@@ -119,6 +119,12 @@ def build_segment_schedule(spec: SegmentSpec, topo: ClusterTopology,
     chunk_bytes = spec.a2a_bytes / degree
     a2a_chunk = a2a_time(topo, chunk_bytes, strategy.algorithm,
                          strategy.protocol, strategy.impl)
+    # The bandwidth-independent floor of each A2A chunk (same payload
+    # through an unbounded fabric): feeds the infinite-bandwidth
+    # what-if bound in repro.obs.analysis.
+    a2a_floor = min(a2a_chunk, a2a_time(
+        topo.with_infinite_bandwidth(), chunk_bytes, strategy.algorithm,
+        strategy.protocol, strategy.impl))
     rows_chunk = max(1, spec.expert_rows // degree)
     expert_chunk = expert_ffn_time(topo.gpu, spec.expert_batch, rows_chunk,
                                    spec.model_dim, spec.hidden_dim, gemm,
@@ -131,14 +137,15 @@ def build_segment_schedule(spec: SegmentSpec, topo: ClusterTopology,
     # combine never blocks the next dispatch (Figure 14's schedule).
     dispatches = [schedule.new_op(
         work=a2a_chunk, gpu=0, stream="comm", kind=kind,
-        label=f"a2a_dispatch[{i}]") for i in range(degree)]
+        latency=a2a_floor, label=f"a2a_dispatch[{i}]")
+        for i in range(degree)]
     experts = [schedule.new_op(
         work=expert_chunk, gpu=0, stream="compute", kind="compute",
         deps=(dispatches[i],), label=f"expert[{i}]")
         for i in range(degree)]
     combines = [schedule.new_op(
         work=a2a_chunk, gpu=0, stream="comm", kind=kind,
-        deps=(experts[i],), label=f"a2a_combine[{i}]")
+        latency=a2a_floor, deps=(experts[i],), label=f"a2a_combine[{i}]")
         for i in range(degree)]
     schedule.new_op(work=0.0, gpu=0, stream="compute", kind="host",
                     deps=tuple(combines), label="barrier")

@@ -74,6 +74,49 @@ class TestObsCommand:
         assert obs_module.get_observer() is None
 
 
+class TestObsMetricsJson:
+    def test_metrics_json_snapshot(self, tmp_path):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        assert main(["obs", "--steps", "2",
+                     "--metrics-json", str(metrics)]) == 0
+        snap = json.loads(metrics.read_text())
+        assert {"counters", "gauges", "histograms"} <= set(snap)
+        # Reservoir quantiles ride along in every histogram summary.
+        any_hist = next(iter(snap["histograms"].values()))
+        assert {"p50", "p95", "p99"} <= set(any_hist)
+
+
+class TestAnalyzeCommand:
+    def test_analyze_fig22_prints_attribution(self, capsys):
+        assert main(["analyze", "fig22", "--world", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-stream attribution" in out
+        assert "Critical path" in out
+        assert "what-if bounds" in out
+        assert "overlap efficiency" in out
+        assert "faster" in out
+
+    def test_analyze_trace_file_roundtrip(self, tmp_path, capsys):
+        trace_in = tmp_path / "in.json"
+        trace_out = tmp_path / "out.json"
+        # First export a trace from the fig22 path...
+        assert main(["analyze", "fig22", "--world", "16",
+                     "--trace", str(trace_in)]) == 0
+        capsys.readouterr()
+        # ...then re-analyze the saved trace from disk.
+        assert main(["analyze", str(trace_in),
+                     "--trace", str(trace_out)]) == 0
+        out = capsys.readouterr().out
+        assert "Per-stream attribution" in out
+        assert trace_out.is_file()
+
+    def test_analyze_missing_file_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "no-such-trace.json"])
+
+
 class TestChaosCommand:
     def test_chaos_smoke(self, tmp_path, capsys):
         from repro import obs as obs_module

@@ -56,6 +56,54 @@ class TestRegistry:
         assert h.mean == 0.0
         assert h.summary()["min"] == 0.0
 
+    def test_histogram_quantiles_exact_under_reservoir_size(self):
+        from repro.obs.registry import RESERVOIR_SIZE
+
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        values = list(range(101))  # well under RESERVOIR_SIZE
+        assert len(values) <= RESERVOIR_SIZE
+        for v in values:
+            h.observe(float(v))
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(1.0) == 100.0
+        assert h.quantile(0.5) == pytest.approx(50.0)
+        assert h.quantile(0.95) == pytest.approx(95.0)
+
+    def test_histogram_quantiles_deterministic_when_sampling(self):
+        # Past the reservoir size the quantiles are sampled, but the
+        # per-instrument seed makes two identical runs agree exactly.
+        def fill():
+            h = MetricsRegistry().histogram("latency")
+            for v in range(10_000):
+                h.observe(float(v))
+            return h
+
+        a, b = fill(), fill()
+        assert a.quantile(0.5) == b.quantile(0.5)
+        assert a.quantile(0.99) == b.quantile(0.99)
+        # Sampled quantiles stay near the true ones on uniform data.
+        assert a.quantile(0.5) == pytest.approx(5_000, rel=0.25)
+
+    def test_histogram_quantile_validates_and_defaults(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.quantile(0.5) == 0.0  # empty histogram
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_summary_includes_percentiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        s = h.summary()
+        assert {"p50", "p95", "p99"} <= set(s)
+        assert s["p50"] == pytest.approx(2.0)
+        snap = reg.snapshot()
+        json.dumps(snap)
+        assert "p95" in snap["histograms"]["h"]
+
     def test_snapshot_is_json_serializable(self):
         reg = MetricsRegistry()
         reg.counter("c").inc()

@@ -56,3 +56,30 @@ class TestChromeTrace:
         us = to_chrome_trace(result, time_scale=1e6)
         ms = to_chrome_trace(result, time_scale=1e3)
         assert us[-1]["ts"] == 1000 * ms[-1]["ts"]
+
+    def test_args_carry_replay_fields(self):
+        # uid/deps/work_seconds make the trace machine-replayable
+        # (load_sim_trace) on top of being viewable in Perfetto.
+        events = to_chrome_trace(pipeline_result(degree=2))
+        spans = [e for e in events if e["ph"] in ("X", "i")]
+        for e in spans:
+            assert "uid" in e["args"]
+            assert "deps" in e["args"]
+            assert "work_seconds" in e["args"]
+
+    def test_default_category_is_sim(self):
+        events = to_chrome_trace(pipeline_result(degree=1))
+        assert {e["cat"] for e in events} == {"sim"}
+
+    def test_critical_argument_flags_chain(self):
+        from repro.cluster.trace import CAT_CRITICAL
+        from repro.obs import analysis
+
+        result = pipeline_result(degree=2)
+        path = analysis.critical_path(result)
+        events = to_chrome_trace(result, critical=path)
+        crit = [e for e in events if e.get("cat") == CAT_CRITICAL
+                and e["ph"] in ("X", "i")]
+        assert len(crit) == len(path)
+        flows = [e for e in events if e.get("name") == "critical_path"]
+        assert len(flows) == 2 * (len(path) - 1)
