@@ -62,3 +62,11 @@ class Table:
     def show(self) -> None:
         print(self.render())
         print()
+        # When a run is recording (repro bench under REPRO_RUNS_DIR)
+        # the rendered table also lands in the run's event stream.
+        from repro.obs.runs import get_run
+        run = get_run()
+        if run is not None:
+            run.emit("bench_table", data={
+                "title": self.title, "columns": list(self.columns),
+                "rows": [list(r) for r in self.rows]})

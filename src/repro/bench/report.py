@@ -252,6 +252,12 @@ def emit(artifact: str, title: str, metrics: Iterable[Metric], *,
         path = result.write(target)
         if verbose:
             print(f"[bench] wrote {path}")
+    # Lazy import: repro.obs.runs imports config_fingerprint from this
+    # module, so the dependency must stay one-way at import time.
+    from repro.obs.runs import get_run
+    run = get_run()
+    if run is not None:
+        run.emit("bench_result", data=result.to_json_obj())
     return result
 
 

@@ -11,12 +11,18 @@ Usage::
     python -m repro analyze fig22        # critical path + attribution
     python -m repro report               # aggregate BENCH_*.json records
     python -m repro regress              # compare against baselines
+    python -m repro runs list            # persisted run registry
+    python -m repro runs diff A B        # metric deltas between runs
+    python -m repro dashboard latest     # static HTML report of a run
 
 Each bench is the same module pytest-benchmark runs; the CLI imports
 its ``run()`` and prints the full table.  Setting ``REPRO_TRACE=path``
 makes ``bench`` record every instrumented span and write a Chrome-trace
 JSON there; ``repro obs`` does the same for a self-contained demo
 (train steps + simulator run + the encode-locations microbench).
+Setting ``REPRO_RUNS_DIR=path`` makes ``bench`` (and any training it
+performs) record a persistent run directory there — browse with
+``repro runs ...`` and ``repro dashboard``.
 """
 
 from __future__ import annotations
@@ -89,6 +95,8 @@ def run_bench(short_id: str) -> None:
     With ``REPRO_TRACE=path`` in the environment the run happens under
     an enabled observer and the collected trace is written there (one
     file per bench — with ``bench all`` the last bench's trace wins).
+    With ``REPRO_RUNS_DIR=path`` the bench records a persistent run
+    directory there (manifest + event stream, see ``repro runs``).
     """
     benches = discover_benches()
     if short_id not in benches:
@@ -101,6 +109,13 @@ def run_bench(short_id: str) -> None:
     if trace_path:
         from repro import obs
         ob = obs.enable()
+    run_ctx = None
+    from repro.obs.runs import env_runs_root, get_run, recording_run
+    if env_runs_root() is not None and get_run() is None:
+        run_ctx = recording_run(config={"kind": "bench",
+                                        "bench": short_id})
+        writer = run_ctx.__enter__()
+        print(f"[runs] recording run {writer.manifest.run_id}")
     sys.path.insert(0, str(path.parent))  # for `import conftest`
     try:
         spec = importlib.util.spec_from_file_location(path.stem, path)
@@ -110,6 +125,12 @@ def run_bench(short_id: str) -> None:
         module.run(verbose=True)
     finally:
         sys.path.remove(str(path.parent))
+        if run_ctx is not None:
+            if ob is not None and run_ctx.run is not None \
+                    and run_ctx.run.manifest.status != "complete":
+                run_ctx.run.finalize(
+                    registry_snapshot=ob.registry.snapshot())
+            run_ctx.__exit__(None, None, None)
         if ob is not None:
             from repro import obs
             assert ob.recorder is not None
@@ -348,6 +369,82 @@ def _cmd_obs(trace_path: str, jsonl_path: str | None, steps: int,
         obs.disable()
 
 
+def _cmd_runs(args) -> int:
+    """Run-registry queries (``repro runs list|show|diff|gc``)."""
+    from repro.bench.harness import Table
+    from repro.obs.runs import RunStore
+
+    store = RunStore(args.dir)
+    if args.runs_command == "list":
+        manifests = store.manifests()
+        if not manifests:
+            print(f"no runs under {store.root}")
+            return 0
+        table = Table(title=f"runs under {store.root}",
+                      columns=["run_id", "created_at", "seed",
+                               "status", "fingerprint", "kind"])
+        for m in manifests:
+            table.add_row(m.run_id, f"{m.created_at:.0f}",
+                          "-" if m.seed is None else m.seed,
+                          m.status, m.fingerprint,
+                          m.config.get("kind", "-"))
+        table.show()
+    elif args.runs_command == "show":
+        import json as _json
+        run_id = store.resolve(args.run)
+        manifest = store.manifest(run_id)
+        print(_json.dumps(manifest.to_json_obj(), indent=1,
+                          sort_keys=True))
+        counts: dict[str, int] = {}
+        for event in store.events(run_id):
+            kind = event.get("kind", "?")
+            counts[kind] = counts.get(kind, 0) + 1
+        print("events: " + (", ".join(
+            f"{k}={v}" for k, v in sorted(counts.items()))
+            or "(none)"))
+        alerts = list(store.iter_events(run_id, kind="alert"))
+        for event in alerts:
+            d = event.get("data", {})
+            print(f"  alert @ step {event.get('step')}: "
+                  f"[{d.get('severity')}] {d.get('kind')} — "
+                  f"{d.get('message')}")
+    elif args.runs_command == "diff":
+        deltas = store.diff(args.run_a, args.run_b)
+        shown = 0
+        for d in deltas:
+            if args.changed_only and (d.delta is None or d.delta == 0):
+                continue
+            fmt = (lambda v: "-" if v is None else f"{v:g}")
+            print(f"  {d.name:44s} {fmt(d.a):>12s} -> {fmt(d.b):>12s}"
+                  f"  (Δ {fmt(d.delta)})")
+            shown += 1
+        if not shown:
+            print("no differing metrics")
+    elif args.runs_command == "gc":
+        removed = store.gc(args.keep, dry_run=args.dry_run)
+        verb = "would remove" if args.dry_run else "removed"
+        if removed:
+            for run_id in removed:
+                print(f"{verb} {run_id}")
+        else:
+            print(f"nothing to remove ({len(store.run_ids())} run(s) "
+                  f"<= keep={args.keep})")
+    return 0
+
+
+def _cmd_dashboard(run: str, out: str | None,
+                   runs_dir: str | None) -> None:
+    """Render one run into a standalone HTML dashboard."""
+    from repro.obs.dashboard import write_dashboard
+    from repro.obs.runs import RunStore
+
+    store = RunStore(runs_dir)
+    run_id = store.resolve(run)
+    out_path = out if out is not None else f"dashboard-{run_id}.html"
+    path = write_dashboard(store, run_id, out_path)
+    print(f"[dashboard] wrote {path} (run {run_id})")
+
+
 def _cmd_chaos(seed: int, steps: int, num_gpus: int, smoke: bool,
                checkpoint_dir: str | None, trace_path: str | None) -> None:
     """Run the seeded chaos scenario on both substrates and report."""
@@ -435,6 +532,46 @@ def main(argv: list[str] | None = None) -> int:
                            help="keep checkpoints here (default: tempdir)")
     chaos_cmd.add_argument("--trace", default=None,
                            help="dump fault/recovery events as JSONL")
+    runs_cmd = sub.add_parser(
+        "runs", help="query the persistent run registry")
+    runs_sub = runs_cmd.add_subparsers(dest="runs_command",
+                                       required=True)
+    runs_dir_kwargs = dict(
+        default=None,
+        help="registry root (default: $REPRO_RUNS_DIR or .repro_runs)")
+    runs_list = runs_sub.add_parser("list", help="list recorded runs")
+    runs_list.add_argument("--dir", **runs_dir_kwargs)
+    runs_show = runs_sub.add_parser(
+        "show", help="manifest + event summary of one run")
+    runs_show.add_argument("run",
+                           help="run id, unique prefix, or 'latest'")
+    runs_show.add_argument("--dir", **runs_dir_kwargs)
+    runs_diff = runs_sub.add_parser(
+        "diff", help="metric deltas between two runs")
+    runs_diff.add_argument("run_a")
+    runs_diff.add_argument("run_b")
+    runs_diff.add_argument("--changed-only", action="store_true",
+                           help="hide metrics with zero delta")
+    runs_diff.add_argument("--dir", **runs_dir_kwargs)
+    runs_gc = runs_sub.add_parser(
+        "gc", help="prune old runs, keeping the newest N")
+    runs_gc.add_argument("--keep", type=int, required=True,
+                         help="number of newest runs to keep")
+    runs_gc.add_argument("--dry-run", action="store_true",
+                         help="report what would be removed")
+    runs_gc.add_argument("--dir", **runs_dir_kwargs)
+    dash_cmd = sub.add_parser(
+        "dashboard",
+        help="render a recorded run as a standalone HTML report")
+    dash_cmd.add_argument("run", nargs="?", default="latest",
+                          help="run id, unique prefix, or 'latest' "
+                               "(default)")
+    dash_cmd.add_argument("-o", "--out", default=None,
+                          help="output HTML path "
+                               "(default: dashboard-<run_id>.html)")
+    dash_cmd.add_argument("--dir", default=None,
+                          help="registry root (default: "
+                               "$REPRO_RUNS_DIR or .repro_runs)")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -454,6 +591,16 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "chaos":
         _cmd_chaos(args.seed, args.steps, args.gpus, args.smoke,
                    args.checkpoint_dir, args.trace)
+    elif args.command == "runs":
+        try:
+            return _cmd_runs(args)
+        except KeyError as exc:
+            raise SystemExit(f"repro runs: {exc.args[0]}") from exc
+    elif args.command == "dashboard":
+        try:
+            _cmd_dashboard(args.run, args.out, args.dir)
+        except KeyError as exc:
+            raise SystemExit(f"repro dashboard: {exc.args[0]}") from exc
     elif args.command == "bench":
         if args.id == "all":
             for short in sorted(discover_benches()):

@@ -26,6 +26,7 @@ from repro.moe.gating import (
 from repro.moe.metrics import routing_stats
 from repro.obs import CAT_MOE, get_observer
 from repro.obs import span as _span
+from repro.obs.runs import get_run
 
 __all__ = [
     "ExpertParams",
@@ -220,7 +221,18 @@ def moe_layer_forward(x: np.ndarray, params: MoELayerParams,
         output = decode(expert_out, crit)
 
     ob = get_observer()
-    if ob is not None:
-        ob.record_routing(routing_stats(crit, probs))
+    run = get_run()
+    if ob is not None or run is not None:
+        stats = routing_stats(crit, probs)
+        if ob is not None:
+            ob.record_routing(stats)
+        if run is not None:
+            run.emit("routing", data={
+                "layer": 0,
+                "entropy": stats.routing_entropy,
+                "gini": stats.load_gini,
+                "dropped_fraction": stats.dropped_fraction,
+                "needed_capacity_factor": stats.needed_capacity_factor,
+                "expert_load": list(stats.expert_load)})
     return MoEOutput(output=output, l_aux=l_aux, crit=crit,
                      effective_capacity_factor=eff_f)

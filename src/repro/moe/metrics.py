@@ -20,6 +20,7 @@ __all__ = [
     "routing_stats",
     "expert_load",
     "load_imbalance",
+    "load_gini",
     "routing_entropy",
 ]
 
@@ -44,6 +45,8 @@ def load_imbalance(crit: RoutingCriteria) -> float:
 
     This is the quantity the capacity factor must cover: the needed
     capacity factor of Figure 1 equals this ratio for top-1 routing.
+    Degenerate inputs stay finite: zero routed tokens (empty batch)
+    reads as perfectly balanced, never a 0/0 NaN.
     """
     load = expert_load(crit).astype(np.float64)
     mean = load.mean()
@@ -52,12 +55,36 @@ def load_imbalance(crit: RoutingCriteria) -> float:
     return float(load.max() / mean)
 
 
+def load_gini(load: np.ndarray) -> float:
+    """Gini coefficient of an expert-load vector (0 = balanced).
+
+    The health detectors' imbalance signal: 0.0 for uniform usage,
+    approaching ``1 - 1/E`` when one expert takes everything.  Defined
+    (0.0) for the degenerate cases — a single expert, zero routed
+    tokens, or an empty vector — so online monitors never see NaN.
+    """
+    load = np.asarray(load, dtype=np.float64).reshape(-1)
+    n = load.size
+    total = load.sum()
+    if n <= 1 or total <= 0:
+        return 0.0
+    ordered = np.sort(load)
+    # Mean absolute difference form via the sorted-rank identity.
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    return float((2.0 * (ranks * ordered).sum() - (n + 1) * total)
+                 / (n * total))
+
+
 def routing_entropy(crit: RoutingCriteria,
                     normalized: bool = True) -> float:
     """Shannon entropy of the expert load distribution.
 
     1.0 (normalized) means uniform expert usage; 0 means collapse onto
     a single expert — the failure mode the auxiliary loss prevents.
+    Degenerate inputs return defined values instead of NaN: zero routed
+    tokens give 0.0 (no evidence of spread), and a single-expert layer
+    gives 1.0 normalized (one expert *is* uniform usage; the 0/log(1)
+    division is never evaluated).
     """
     load = expert_load(crit).astype(np.float64)
     total = load.sum()
@@ -75,7 +102,13 @@ def routing_entropy(crit: RoutingCriteria,
 
 @dataclass(frozen=True)
 class RoutingStats:
-    """One routing decision's diagnostic summary."""
+    """One routing decision's diagnostic summary.
+
+    ``expert_load`` is the per-expert routed-token count (dropped slots
+    included) — the series the run registry's utilization heatmap and
+    the dead-expert health detector consume; ``load_gini`` is its Gini
+    coefficient (0 = balanced).
+    """
 
     num_tokens: int
     num_experts: int
@@ -86,6 +119,17 @@ class RoutingStats:
     routing_entropy: float
     needed_capacity: int
     mean_top1_confidence: float
+    expert_load: tuple[int, ...] = ()
+    load_gini: float = 0.0
+
+    @property
+    def needed_capacity_factor(self) -> float:
+        """Capacity factor that would have kept every token (f of
+        Figure 1); 0.0 for an empty batch."""
+        slots = self.num_tokens * self.top_k
+        if slots <= 0:
+            return 0.0
+        return self.needed_capacity * self.num_experts / slots
 
     def describe(self) -> str:
         return (f"T={self.num_tokens} E={self.num_experts} "
@@ -114,6 +158,7 @@ def routing_stats(crit: RoutingCriteria,
         confidence = float(gate_probs.max(axis=1).mean())
     else:
         confidence = float(crit.gates.max(axis=0).mean())
+    load = expert_load(crit)
     return RoutingStats(
         num_tokens=crit.num_tokens,
         num_experts=crit.num_experts,
@@ -123,4 +168,6 @@ def routing_stats(crit: RoutingCriteria,
         load_imbalance=load_imbalance(crit),
         routing_entropy=routing_entropy(crit),
         needed_capacity=crit.max_needed_capacity(),
-        mean_top1_confidence=confidence)
+        mean_top1_confidence=confidence,
+        expert_load=tuple(int(c) for c in load),
+        load_gini=load_gini(load))

@@ -23,9 +23,11 @@ from repro.autograd.tensor import Tensor
 from repro.moe.capacity import CapacityPolicy, resolve_capacity
 from repro.moe.gating import RoutingCriteria, compute_locations
 from repro.moe.metrics import routing_stats
+from repro.moe.metrics import RoutingStats
 from repro.nn.modules import Linear, Module
 from repro.obs import CAT_MOE, get_observer
 from repro.obs import span as _span
+from repro.obs.runs import get_run
 
 __all__ = ["MoE"]
 
@@ -97,6 +99,10 @@ class MoE(Module):
         self.last_needed_capacity_factor: float | None = None
         self.last_effective_capacity_factor: float | None = None
         self.last_dropped_fraction: float | None = None
+        # Full routing summary of the latest forward — the trainer's
+        # run-registry events and health detectors read this, so it is
+        # computed unconditionally (cheap next to the expert GEMMs).
+        self.last_routing_stats: RoutingStats | None = None
 
         # Experts masked out of gating (graceful degradation path).
         self.failed_experts: set[int] = set()
@@ -119,10 +125,18 @@ class MoE(Module):
                 "cannot fail the last surviving expert; "
                 "restore from checkpoint instead")
         self.failed_experts.add(expert)
+        run = get_run()
+        if run is not None:
+            run.emit("fault", data={"kind": "expert_failure",
+                                    "expert": expert})
 
     def restore_expert(self, expert: int) -> None:
         """Readmit a previously failed expert to gating."""
         self.failed_experts.discard(expert)
+        run = get_run()
+        if run is not None:
+            run.emit("recovery", data={"kind": "expert_restored",
+                                       "expert": expert})
 
     # -- routing ----------------------------------------------------------
 
@@ -197,9 +211,10 @@ class MoE(Module):
             # them; real values come from `selected` at combine time.
             crit.gates = np.where(crit.valid, 1.0, 0.0)
 
+        self.last_routing_stats = routing_stats(crit, probs.data)
         ob = get_observer()
         if ob is not None:
-            ob.record_routing(routing_stats(crit, probs.data))
+            ob.record_routing(self.last_routing_stats)
 
         with _span("encode", CAT_MOE):
             dispatched = moe_dispatch(x, crit)

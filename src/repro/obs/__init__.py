@@ -45,6 +45,7 @@ from repro.obs.trace import (
     CAT_CKPT,
     CAT_COLLECTIVE,
     CAT_FAULT,
+    CAT_HEALTH,
     CAT_MOE,
     CAT_PIPELINE,
     CAT_SIM,
@@ -79,6 +80,7 @@ __all__ = [
     "CAT_BENCH",
     "CAT_FAULT",
     "CAT_CKPT",
+    "CAT_HEALTH",
 ]
 
 

@@ -1,0 +1,491 @@
+"""Static HTML dashboard for a recorded run (``repro.obs.dashboard``).
+
+``repro dashboard <run_id|latest>`` renders one run directory
+(:mod:`repro.obs.runs`) into a **self-contained** HTML file: inline
+SVG sparklines and heatmaps, inline CSS, no JavaScript, no external
+assets — pure stdlib, viewable from ``file://`` on an air-gapped box.
+
+Sections: run identity header, stat tiles, loss / gradient-norm
+sparklines with health-alert markers, per-layer routing panels
+(entropy + load-Gini bands, per-expert utilization heatmap over
+steps), the fault / recovery / strategy / checkpoint timeline, the
+alerts table, and a collapsible step table so every plotted number is
+also readable as text.
+
+Color discipline follows the repo's viz conventions: one categorical
+series hue, a single-hue sequential blue ramp for the heatmap, status
+colors reserved for alert severity and always paired with a text
+label, all ink on CSS custom properties with a dark scheme selected
+via ``prefers-color-scheme``.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.obs.runs import RunStore
+
+__all__ = ["RunSeries", "build_series", "render_dashboard",
+           "write_dashboard"]
+
+# Single-hue sequential ramp (steps 100..700), lightest = near zero.
+_RAMP = ["#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec",
+         "#5598e7", "#3987e5", "#2a78d6", "#256abf", "#1c5cab",
+         "#184f95", "#104281", "#0d366b"]
+
+#: severity -> (status token, text glyph); never color alone.
+_SEVERITY = {"warn": ("warning", "!"), "critical": ("critical", "✖")}
+
+_TIMELINE_KINDS = ("fault", "recovery", "strategy_switch",
+                   "ckpt_saved", "ckpt_restored")
+_TIMELINE_GLYPHS = {"fault": ("critical", "✖"),
+                    "recovery": ("good", "✓"),
+                    "strategy_switch": ("warning", "⇄"),
+                    "ckpt_saved": ("good", "▽"),
+                    "ckpt_restored": ("warning", "△")}
+
+_CSS = """
+:root { color-scheme: light dark; }
+body {
+  margin: 0; padding: 24px;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page); color: var(--ink-1);
+}
+.viz-root {
+  --page: #f9f9f7; --surface-1: #fcfcfb;
+  --ink-1: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --baseline: #c3c2b7;
+  --series-1: #2a78d6;
+  --status-good: #0ca30c; --status-warning: #fab219;
+  --status-serious: #ec835a; --status-critical: #d03b3b;
+  --border: rgba(11, 11, 11, 0.10);
+}
+@media (prefers-color-scheme: dark) {
+  .viz-root {
+    --page: #0d0d0d; --surface-1: #1a1a19;
+    --ink-1: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --baseline: #383835;
+    --series-1: #3987e5;
+    --border: rgba(255, 255, 255, 0.10);
+  }
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 24px 0 8px; }
+.sub { color: var(--ink-2); font-size: 13px; margin-bottom: 16px; }
+.sub code { color: var(--ink-2); }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 16px 0; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 10px 16px; min-width: 110px;
+}
+.tile .label { color: var(--muted); font-size: 11px;
+  text-transform: uppercase; letter-spacing: 0.04em; }
+.tile .value { font-size: 22px; margin-top: 2px; }
+.tile .value small { font-size: 12px; color: var(--ink-2); }
+.panel {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 16px; margin-bottom: 14px;
+}
+.panel .title { font-size: 13px; color: var(--ink-2);
+  margin-bottom: 6px; }
+svg { display: block; }
+svg text { font-family: inherit; }
+table { border-collapse: collapse; font-size: 13px; width: 100%; }
+th, td { text-align: left; padding: 4px 10px 4px 0;
+  border-bottom: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums; }
+th { color: var(--muted); font-weight: 500; }
+.status { white-space: nowrap; }
+.status .dot { display: inline-block; width: 9px; height: 9px;
+  border-radius: 50%; margin-right: 5px; }
+.good .dot { background: var(--status-good); }
+.warning .dot { background: var(--status-warning); }
+.serious .dot { background: var(--status-serious); }
+.critical .dot { background: var(--status-critical); }
+details { margin: 10px 0; }
+summary { cursor: pointer; color: var(--ink-2); font-size: 13px; }
+pre { font-size: 12px; overflow-x: auto; color: var(--ink-2); }
+.empty { color: var(--muted); font-size: 13px; font-style: italic; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: float | int | None) -> str:
+    if value is None:
+        return "–"
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "nan"
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.001:
+        return f"{value:.3g}"
+    return f"{value:.4g}".rstrip("0").rstrip(".")
+
+
+class RunSeries:
+    """Event stream reshaped into plot-ready series."""
+
+    def __init__(self) -> None:
+        self.steps: list[int] = []
+        self.loss: list[float] = []
+        self.grad_norm: list[float] = []
+        # layer -> parallel lists keyed off routing events
+        self.routing_steps: dict[int, list[int]] = {}
+        self.entropy: dict[int, list[float]] = {}
+        self.gini: dict[int, list[float]] = {}
+        self.expert_load: dict[int, list[Sequence[float]]] = {}
+        self.alerts: list[dict] = []
+        self.timeline: list[dict] = []
+        self.evals: list[dict] = []
+
+    @property
+    def layers(self) -> list[int]:
+        return sorted(self.routing_steps)
+
+
+def build_series(events: Iterable[Mapping]) -> RunSeries:
+    """Fold a run's event stream into :class:`RunSeries`."""
+    series = RunSeries()
+    for event in events:
+        kind = event.get("kind")
+        step = event.get("step")
+        data = event.get("data") or {}
+        if kind == "step" and step is not None:
+            series.steps.append(int(step))
+            series.loss.append(float(data.get("loss", float("nan"))))
+            if "grad_norm" in data:
+                series.grad_norm.append(float(data["grad_norm"]))
+        elif kind == "routing" and step is not None and step >= 0:
+            layer = int(data.get("layer", 0))
+            series.routing_steps.setdefault(layer, []).append(int(step))
+            series.entropy.setdefault(layer, []).append(
+                float(data.get("entropy", 0.0)))
+            series.gini.setdefault(layer, []).append(
+                float(data.get("gini", 0.0)))
+            series.expert_load.setdefault(layer, []).append(
+                list(data.get("expert_load", [])))
+        elif kind == "alert":
+            series.alerts.append(dict(data))
+        elif kind in _TIMELINE_KINDS:
+            # A payload's own "kind" (e.g. fault -> "expert_failure")
+            # must not clobber the event kind the glyph map keys on.
+            payload = dict(data)
+            detail_kind = payload.pop("kind", None)
+            entry = {"kind": kind, "step": step, **payload}
+            if detail_kind is not None:
+                entry["what"] = detail_kind
+            series.timeline.append(entry)
+        elif kind == "eval":
+            series.evals.append(dict(data))
+    return series
+
+
+# ----------------------------------------------------------------------
+# SVG builders
+# ----------------------------------------------------------------------
+
+def _scale(vmin: float, vmax: float, lo: float,
+           hi: float) -> "callable":
+    span = vmax - vmin
+    if span == 0:
+        return lambda v: (lo + hi) / 2.0
+    return lambda v: lo + (v - vmin) / span * (hi - lo)
+
+
+def _line_chart(steps: Sequence[int], values: Sequence[float],
+                markers: Sequence[tuple[int, str, str]] = (),
+                width: int = 640, height: int = 150) -> str:
+    """One-series sparkline; ``markers`` are ``(step, severity,
+    label)`` alert flags drawn as status-colored stems."""
+    pts = [(s, v) for s, v in zip(steps, values) if v == v]
+    if not pts:
+        return '<p class="empty">no data points recorded</p>'
+    pad_l, pad_r, pad_t, pad_b = 48, 10, 12, 20
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    sx = _scale(min(xs), max(xs), pad_l, width - pad_r)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_lo == y_hi:
+        y_lo, y_hi = y_lo - 0.5, y_hi + 0.5
+    sy = _scale(y_lo, y_hi, height - pad_b, pad_t)
+    out = [f'<svg viewBox="0 0 {width} {height}" width="100%" '
+           f'role="img">']
+    # hairline grid: top / mid / baseline, value labels in muted ink
+    for frac in (0.0, 0.5, 1.0):
+        gy = sy(y_lo + frac * (y_hi - y_lo))
+        color = "var(--baseline)" if frac == 0.0 else "var(--grid)"
+        out.append(f'<line x1="{pad_l}" y1="{gy:.1f}" '
+                   f'x2="{width - pad_r}" y2="{gy:.1f}" '
+                   f'stroke="{color}" stroke-width="1"/>')
+        out.append(f'<text x="{pad_l - 6}" y="{gy + 4:.1f}" '
+                   f'text-anchor="end" font-size="10" '
+                   f'fill="var(--muted)">'
+                   f'{_esc(_fmt(y_lo + frac * (y_hi - y_lo)))}</text>')
+    for x, anchor in ((min(xs), "start"), (max(xs), "end")):
+        out.append(f'<text x="{sx(x):.1f}" y="{height - 6}" '
+                   f'text-anchor="{anchor}" font-size="10" '
+                   f'fill="var(--muted)">step {x}</text>')
+    # alert stems behind the series line
+    for mstep, severity, label in markers:
+        token, glyph = _SEVERITY.get(severity, ("warning", "!"))
+        mx = sx(min(max(mstep, min(xs)), max(xs)))
+        out.append(
+            f'<line x1="{mx:.1f}" y1="{pad_t}" x2="{mx:.1f}" '
+            f'y2="{height - pad_b}" stroke="var(--status-{token})" '
+            f'stroke-width="1.5" stroke-dasharray="2 3"/>'
+            f'<circle cx="{mx:.1f}" cy="{pad_t}" r="4" '
+            f'fill="var(--status-{token})">'
+            f'<title>{_esc(label)}</title></circle>')
+    path = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in pts)
+    out.append(f'<polyline points="{path}" fill="none" '
+               f'stroke="var(--series-1)" stroke-width="2" '
+               f'stroke-linejoin="round"/>')
+    # invisible-ring hover targets carrying native tooltips
+    if len(pts) <= 400:
+        for x, y in pts:
+            out.append(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="5" '
+                f'fill="transparent" pointer-events="all">'
+                f'<title>step {x}: {_esc(_fmt(y))}</title></circle>')
+    out.append("</svg>")
+    return "".join(out)
+
+
+def _heatmap(steps: Sequence[int],
+             loads: Sequence[Sequence[float]]) -> str:
+    """Experts (rows) × steps (columns) utilization heatmap on the
+    sequential blue ramp; lightest step means near-zero load."""
+    if not loads or not loads[0]:
+        return '<p class="empty">no expert-load records</p>'
+    num_experts = max(len(row) for row in loads)
+    peak = max((max(row) if row else 0.0) for row in loads)
+    pad_l, pad_t = 40, 4
+    cell_w = max(3, min(22, 600 // max(1, len(loads))))
+    cell_h = 14
+    gap = 2  # surface shows through between fills
+    width = pad_l + len(loads) * (cell_w + gap) + 10
+    height = pad_t + num_experts * (cell_h + gap) + 20
+    out = [f'<svg viewBox="0 0 {width} {height}" width="100%" '
+           f'role="img">']
+    for e in range(num_experts):
+        cy = pad_t + e * (cell_h + gap)
+        out.append(f'<text x="{pad_l - 6}" y="{cy + cell_h - 3}" '
+                   f'text-anchor="end" font-size="10" '
+                   f'fill="var(--muted)">E{e}</text>')
+        for i, row in enumerate(loads):
+            value = float(row[e]) if e < len(row) else 0.0
+            idx = 0 if peak <= 0 else round(
+                value / peak * (len(_RAMP) - 1))
+            cx = pad_l + i * (cell_w + gap)
+            out.append(
+                f'<rect x="{cx}" y="{cy}" width="{cell_w}" '
+                f'height="{cell_h}" rx="2" fill="{_RAMP[idx]}">'
+                f'<title>step {steps[i]}, expert {e}: '
+                f'{_esc(_fmt(value))} tokens</title></rect>')
+    for i, anchor in ((0, "start"), (len(loads) - 1, "end")):
+        out.append(
+            f'<text x="{pad_l + i * (cell_w + gap):.1f}" '
+            f'y="{height - 6}" text-anchor="{anchor}" font-size="10" '
+            f'fill="var(--muted)">step {steps[i]}</text>')
+    out.append("</svg>")
+    return "".join(out)
+
+
+# ----------------------------------------------------------------------
+# HTML assembly
+# ----------------------------------------------------------------------
+
+def _tile(label: str, value: str, note: str = "") -> str:
+    suffix = f" <small>{_esc(note)}</small>" if note else ""
+    return (f'<div class="tile"><div class="label">{_esc(label)}'
+            f'</div><div class="value">{_esc(value)}{suffix}'
+            f'</div></div>')
+
+
+def _panel(title: str, body: str) -> str:
+    return (f'<div class="panel"><div class="title">{_esc(title)}'
+            f'</div>{body}</div>')
+
+
+def _status_cell(token: str, glyph: str, label: str) -> str:
+    return (f'<span class="status {token}"><span class="dot"></span>'
+            f'{_esc(glyph)} {_esc(label)}</span>')
+
+
+def _alerts_table(alerts: Sequence[Mapping]) -> str:
+    if not alerts:
+        return '<p class="empty">no health alerts raised</p>'
+    rows = []
+    for a in alerts:
+        token, glyph = _SEVERITY.get(a.get("severity", "warn"),
+                                     ("warning", "!"))
+        where = "" if a.get("layer") is None else f'L{a["layer"]}'
+        if a.get("expert") is not None:
+            where += f'/E{a["expert"]}'
+        rows.append(
+            f'<tr><td>{_esc(a.get("step", "–"))}</td>'
+            f'<td>{_esc(a.get("kind", "?"))}</td>'
+            f'<td>{_status_cell(token, glyph, a.get("severity", ""))}'
+            f'</td><td>{_esc(where or "–")}</td>'
+            f'<td>{_esc(_fmt(a.get("value")))}</td>'
+            f'<td>{_esc(_fmt(a.get("threshold")))}</td>'
+            f'<td>{_esc(a.get("message", ""))}</td></tr>')
+    return ('<table><thead><tr><th>step</th><th>kind</th>'
+            '<th>severity</th><th>where</th><th>value</th>'
+            '<th>threshold</th><th>message</th></tr></thead>'
+            f'<tbody>{"".join(rows)}</tbody></table>')
+
+
+def _timeline_table(timeline: Sequence[Mapping]) -> str:
+    if not timeline:
+        return ('<p class="empty">no fault / recovery / strategy '
+                'events</p>')
+    rows = []
+    for ev in timeline:
+        token, glyph = _TIMELINE_GLYPHS.get(ev.get("kind", ""),
+                                            ("warning", "?"))
+        detail = ", ".join(f"{k}={_fmt(v) if isinstance(v, float) else v}"
+                           for k, v in ev.items()
+                           if k not in ("kind", "step"))
+        rows.append(
+            f'<tr><td>{_esc(ev.get("step", "–"))}</td>'
+            f'<td>{_status_cell(token, glyph, ev.get("kind", "?"))}'
+            f'</td><td>{_esc(detail)}</td></tr>')
+    return ('<table><thead><tr><th>step</th><th>event</th>'
+            '<th>detail</th></tr></thead>'
+            f'<tbody>{"".join(rows)}</tbody></table>')
+
+
+def _step_table(series: RunSeries, limit: int = 200) -> str:
+    if not series.steps:
+        return '<p class="empty">no training steps recorded</p>'
+    layer0 = series.layers[0] if series.layers else None
+    rows = []
+    for i, step in enumerate(series.steps[:limit]):
+        loss = _fmt(series.loss[i]) if i < len(series.loss) else "–"
+        grad = (_fmt(series.grad_norm[i])
+                if i < len(series.grad_norm) else "–")
+        ent = gini = "–"
+        if layer0 is not None:
+            try:
+                j = series.routing_steps[layer0].index(step)
+                ent = _fmt(series.entropy[layer0][j])
+                gini = _fmt(series.gini[layer0][j])
+            except ValueError:
+                pass
+        rows.append(f"<tr><td>{step}</td><td>{_esc(loss)}</td>"
+                    f"<td>{_esc(grad)}</td><td>{_esc(ent)}</td>"
+                    f"<td>{_esc(gini)}</td></tr>")
+    truncated = ("" if len(series.steps) <= limit else
+                 f'<p class="empty">… {len(series.steps) - limit} '
+                 f'more steps omitted</p>')
+    return ('<table><thead><tr><th>step</th><th>loss</th>'
+            '<th>grad&nbsp;norm</th><th>entropy (L0)</th>'
+            '<th>gini (L0)</th></tr></thead>'
+            f'<tbody>{"".join(rows)}</tbody></table>{truncated}')
+
+
+def render_dashboard(store: RunStore, token: str = "latest") -> str:
+    """Render one run into a standalone HTML document string."""
+    run_id = store.resolve(token)
+    manifest = store.manifest(run_id)
+    series = build_series(store.events(run_id))
+
+    step_markers = [(a.get("step", 0), a.get("severity", "warn"),
+                     f'{a.get("kind", "alert")}: '
+                     f'{a.get("message", "")}')
+                    for a in series.alerts if a.get("layer") is None]
+    critical = sum(1 for a in series.alerts
+                   if a.get("severity") == "critical")
+
+    tiles = [
+        _tile("steps", str(len(series.steps))),
+        _tile("final loss",
+              _fmt(series.loss[-1]) if series.loss else "–"),
+        _tile("alerts", str(len(series.alerts)),
+              note=f"{critical} critical" if critical else ""),
+        _tile("seed", str(manifest.seed)
+              if manifest.seed is not None else "–"),
+        _tile("status", manifest.status),
+    ]
+    if series.evals:
+        final_eval = series.evals[-1]
+        if "accuracy" in final_eval:
+            tiles.insert(2, _tile("eval accuracy",
+                                  _fmt(final_eval["accuracy"])))
+
+    panels = [_panel("training loss",
+                     _line_chart(series.steps, series.loss,
+                                 markers=step_markers))]
+    if series.grad_norm:
+        panels.append(_panel("gradient norm",
+                             _line_chart(series.steps,
+                                         series.grad_norm,
+                                         markers=step_markers)))
+
+    for layer in series.layers:
+        lmarkers = [(a.get("step", 0), a.get("severity", "warn"),
+                     f'{a.get("kind", "alert")}: '
+                     f'{a.get("message", "")}')
+                    for a in series.alerts if a.get("layer") == layer]
+        steps = series.routing_steps[layer]
+        panels.append(_panel(
+            f"layer {layer} · routing entropy (normalized)",
+            _line_chart(steps, series.entropy[layer],
+                        markers=lmarkers)))
+        panels.append(_panel(
+            f"layer {layer} · load Gini (0 = balanced)",
+            _line_chart(steps, series.gini[layer],
+                        markers=lmarkers)))
+        panels.append(_panel(
+            f"layer {layer} · per-expert utilization "
+            f"(tokens routed, light = idle)",
+            _heatmap(steps, series.expert_load[layer])))
+
+    created = manifest.created_at
+    doc = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>repro run {_esc(run_id)}</title>",
+        f"<style>{_CSS}</style></head>",
+        '<body class="viz-root">',
+        f"<h1>run {_esc(run_id)}</h1>",
+        f'<p class="sub">seed={_esc(manifest.seed)} · '
+        f"substrate={_esc(manifest.substrate)} · "
+        f"git={_esc(manifest.git)} · "
+        f"fingerprint=<code>{_esc(manifest.fingerprint)}</code> · "
+        f"created_at={_esc(_fmt(created))}</p>",
+        f'<div class="tiles">{"".join(tiles)}</div>',
+        "".join(panels),
+        "<h2>fault / strategy timeline</h2>",
+        _timeline_table(series.timeline),
+        "<h2>health alerts</h2>",
+        _alerts_table(series.alerts),
+        "<details><summary>step table (text view of the charts)"
+        "</summary>",
+        _step_table(series),
+        "</details>",
+        "<details><summary>manifest</summary><pre>",
+        _esc(json.dumps(manifest.to_json_obj(), indent=1,
+                        sort_keys=True)),
+        "</pre></details>",
+        "</body></html>",
+    ]
+    return "\n".join(doc)
+
+
+def write_dashboard(store: RunStore, token: str,
+                    out_path: str | Path) -> Path:
+    """Render and write the dashboard; returns the output path."""
+    out = Path(out_path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(render_dashboard(store, token))
+    return out

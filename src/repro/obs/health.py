@@ -1,0 +1,319 @@
+"""Online MoE training-health detectors (``repro.obs.health``).
+
+The adaptive machinery only pays off when its failure modes are
+*visible while they happen*: expert collapse, routing-entropy drift,
+capacity overflow and strategy churn are exactly what the paper's
+dynamic workloads (Figure 1, Table 12) induce.  A
+:class:`HealthMonitor` sits on the trainer's step loop, consumes the
+per-layer :class:`repro.moe.metrics.RoutingStats` plus scalar step
+signals, and emits structured :class:`HealthAlert` events into both
+the active run's event stream (:mod:`repro.obs.runs`) and the trace
+recorder (``CAT_HEALTH`` instants).
+
+Detector math (all deterministic — pure functions of the observed
+sequence, no RNG, so alerts land on identical steps under a fixed
+seed):
+
+* **EWMA z-score** (:class:`EwmaDetector`) — exponentially weighted
+  mean ``m ← m + α·(x − m)`` and variance ``v ← (1−α)·(v + α·d²)``
+  with ``d = x − m_prev``; the score of a new ``x`` is
+  ``z = (x − m)/√v`` against the *pre-update* moments.  Used on
+  routing entropy (drift down), load Gini (drift up) and the gradient
+  norm (spikes).  No score until ``warmup`` observations.
+* **Absolute floors/ceilings** — normalized entropy below
+  ``entropy_floor`` is a collapse regardless of history; drop rate and
+  needed-capacity-factor cross fixed thresholds.
+* **Dead-expert detection** — an expert whose routed load stays below
+  ``dead_floor_fraction`` of its uniform share (``T·k/E``) for
+  ``dead_window`` *consecutive* steps is declared dead (expert failure
+  or gate starvation).
+* **Hysteresis** — every detector alerts on *entering* the bad state
+  and re-arms when the signal recovers, so a persistent condition is
+  one alert, not one per step.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs import CAT_HEALTH, get_observer
+from repro.obs.runs import get_run
+
+__all__ = [
+    "HealthAlert",
+    "HealthConfig",
+    "EwmaDetector",
+    "HealthMonitor",
+]
+
+
+@dataclass(frozen=True)
+class HealthAlert:
+    """One structured health event.
+
+    ``kind`` is one of ``entropy_drift`` / ``imbalance_drift`` /
+    ``drop_rate`` / ``capacity_overflow`` / ``dead_expert`` /
+    ``grad_spike``; ``severity`` is ``"warn"`` or ``"critical"``.
+    """
+
+    kind: str
+    step: int
+    severity: str
+    value: float
+    threshold: float
+    layer: int | None = None
+    expert: int | None = None
+    message: str = ""
+
+    def to_json_obj(self) -> dict:
+        return {
+            "kind": self.kind, "step": self.step,
+            "severity": self.severity, "value": self.value,
+            "threshold": self.threshold, "layer": self.layer,
+            "expert": self.expert, "message": self.message,
+        }
+
+    def describe(self) -> str:
+        where = "" if self.layer is None else f" layer={self.layer}"
+        if self.expert is not None:
+            where += f" expert={self.expert}"
+        return (f"[{self.severity}] {self.kind}@step {self.step}{where}: "
+                f"{self.message}")
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Thresholds and windows of every detector (all tunable)."""
+
+    ewma_alpha: float = 0.15
+    warmup_steps: int = 8
+    entropy_z: float = 4.0            # downward z-score on entropy
+    entropy_floor: float = 0.5        # absolute normalized-entropy floor
+    gini_z: float = 4.0               # upward z-score on load Gini
+    gini_ceiling: float = 0.8         # absolute Gini ceiling
+    drop_rate_threshold: float = 0.3  # fraction of tokens dropped
+    overflow_factor: float = 3.0      # needed capacity factor ceiling
+    grad_z: float = 6.0               # upward z-score on gradient norm
+    dead_floor_fraction: float = 0.1  # of the uniform share T*k/E
+    dead_window: int = 5              # consecutive starved steps
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}")
+        if self.dead_window < 1:
+            raise ValueError(
+                f"dead_window must be >= 1, got {self.dead_window}")
+
+
+class EwmaDetector:
+    """EWMA mean/variance tracker scoring each value pre-update."""
+
+    __slots__ = ("alpha", "warmup", "count", "mean", "var")
+
+    def __init__(self, alpha: float, warmup: int) -> None:
+        self.alpha = alpha
+        self.warmup = warmup
+        self.count = 0
+        self.mean = 0.0
+        self.var = 0.0
+
+    def update(self, value: float) -> float:
+        """Fold ``value`` in; return its z-score against the moments
+        *before* the update (0.0 during warmup or at zero variance)."""
+        value = float(value)
+        if self.count == 0:
+            z = 0.0
+            self.mean = value
+        else:
+            sd = math.sqrt(self.var)
+            z = ((value - self.mean) / sd
+                 if sd > 1e-12 and self.count >= self.warmup else 0.0)
+            delta = value - self.mean
+            self.mean += self.alpha * delta
+            self.var = (1.0 - self.alpha) * (
+                self.var + self.alpha * delta * delta)
+        self.count += 1
+        return z
+
+
+class _Hysteresis:
+    """Alert-on-entry latch: ``trip(bad)`` is True only on a
+    good -> bad transition."""
+
+    __slots__ = ("bad",)
+
+    def __init__(self) -> None:
+        self.bad = False
+
+    def trip(self, bad: bool) -> bool:
+        fired = bad and not self.bad
+        self.bad = bad
+        return fired
+
+
+@dataclass
+class HealthMonitor:
+    """Per-run online detector bank.
+
+    ``observe_routing`` / ``observe_step`` return the alerts they
+    raised *and* emit each one into the active run's event stream and
+    the process observer (``CAT_HEALTH`` instant + counter), when
+    either is installed.
+    """
+
+    config: HealthConfig = field(default_factory=HealthConfig)
+    alerts: list[HealthAlert] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._entropy: dict[int, EwmaDetector] = {}
+        self._gini: dict[int, EwmaDetector] = {}
+        self._grad = EwmaDetector(self.config.ewma_alpha,
+                                  self.config.warmup_steps)
+        self._latches: dict[tuple, _Hysteresis] = {}
+        self._dead_count: dict[tuple[int, int], int] = {}
+        self._dead_alerted: set[tuple[int, int]] = set()
+
+    # -- plumbing ------------------------------------------------------
+
+    def _latch(self, *key: Any) -> _Hysteresis:
+        latch = self._latches.get(key)
+        if latch is None:
+            latch = self._latches[key] = _Hysteresis()
+        return latch
+
+    def _detector(self, bank: dict[int, EwmaDetector],
+                  layer: int) -> EwmaDetector:
+        det = bank.get(layer)
+        if det is None:
+            det = bank[layer] = EwmaDetector(self.config.ewma_alpha,
+                                             self.config.warmup_steps)
+        return det
+
+    def _raise_alert(self, alert: HealthAlert) -> HealthAlert:
+        self.alerts.append(alert)
+        run = get_run()
+        if run is not None:
+            run.emit("alert", step=alert.step, data=alert.to_json_obj())
+        ob = get_observer()
+        if ob is not None:
+            ob.instant(alert.kind, CAT_HEALTH,
+                       args=alert.to_json_obj())
+        return alert
+
+    # -- routing-side detectors ----------------------------------------
+
+    def observe_routing(self, step: int, layer: int,
+                        stats: Any) -> list[HealthAlert]:
+        """Feed one layer's :class:`RoutingStats` for one step.
+
+        ``stats`` is duck-typed (``num_tokens``, ``top_k``,
+        ``routing_entropy``, ``load_gini``, ``dropped_fraction``,
+        ``needed_capacity_factor``, ``expert_load``).  Zero-token
+        steps are skipped outright — the metrics guards keep them
+        NaN-free, but they carry no routing evidence.
+        """
+        cfg = self.config
+        if stats.num_tokens <= 0:
+            return []
+        raised: list[HealthAlert] = []
+
+        entropy = float(stats.routing_entropy)
+        z = self._detector(self._entropy, layer).update(entropy)
+        collapsed = entropy < cfg.entropy_floor
+        if self._latch("entropy", layer).trip(
+                collapsed or z <= -cfg.entropy_z):
+            raised.append(self._raise_alert(HealthAlert(
+                kind="entropy_drift", step=step, layer=layer,
+                severity="critical" if collapsed else "warn",
+                value=entropy,
+                threshold=(cfg.entropy_floor if collapsed
+                           else -cfg.entropy_z),
+                message=(f"routing entropy {entropy:.3f} "
+                         + (f"below floor {cfg.entropy_floor}"
+                            if collapsed else f"z={z:.1f} drop")))))
+
+        gini = float(stats.load_gini)
+        z = self._detector(self._gini, layer).update(gini)
+        skewed = gini > cfg.gini_ceiling
+        if self._latch("gini", layer).trip(skewed or z >= cfg.gini_z):
+            raised.append(self._raise_alert(HealthAlert(
+                kind="imbalance_drift", step=step, layer=layer,
+                severity="critical" if skewed else "warn",
+                value=gini,
+                threshold=(cfg.gini_ceiling if skewed else cfg.gini_z),
+                message=(f"load Gini {gini:.3f} "
+                         + (f"above ceiling {cfg.gini_ceiling}"
+                            if skewed else f"z={z:.1f} rise")))))
+
+        dropped = float(stats.dropped_fraction)
+        if self._latch("drop", layer).trip(
+                dropped > cfg.drop_rate_threshold):
+            raised.append(self._raise_alert(HealthAlert(
+                kind="drop_rate", step=step, layer=layer,
+                severity="warn", value=dropped,
+                threshold=cfg.drop_rate_threshold,
+                message=f"{dropped:.1%} of routed tokens dropped")))
+
+        needed_f = float(stats.needed_capacity_factor)
+        if self._latch("overflow", layer).trip(
+                needed_f > cfg.overflow_factor):
+            raised.append(self._raise_alert(HealthAlert(
+                kind="capacity_overflow", step=step, layer=layer,
+                severity="warn", value=needed_f,
+                threshold=cfg.overflow_factor,
+                message=(f"needed capacity factor {needed_f:.2f} "
+                         f"exceeds {cfg.overflow_factor}"))))
+
+        raised.extend(self._observe_dead_experts(step, layer, stats))
+        return raised
+
+    def _observe_dead_experts(self, step: int, layer: int,
+                              stats: Any) -> list[HealthAlert]:
+        cfg = self.config
+        load = stats.expert_load
+        num_experts = len(load)
+        if num_experts < 2:
+            return []
+        share = stats.num_tokens * stats.top_k / num_experts
+        floor = cfg.dead_floor_fraction * share
+        raised: list[HealthAlert] = []
+        for expert, count in enumerate(load):
+            key = (layer, expert)
+            if count < floor:
+                self._dead_count[key] = self._dead_count.get(key, 0) + 1
+                if (self._dead_count[key] >= cfg.dead_window
+                        and key not in self._dead_alerted):
+                    self._dead_alerted.add(key)
+                    raised.append(self._raise_alert(HealthAlert(
+                        kind="dead_expert", step=step, layer=layer,
+                        expert=expert, severity="critical",
+                        value=float(count), threshold=floor,
+                        message=(f"expert {expert} below "
+                                 f"{cfg.dead_floor_fraction:.0%} of "
+                                 f"uniform share for "
+                                 f"{cfg.dead_window} steps"))))
+            else:
+                self._dead_count[key] = 0
+                self._dead_alerted.discard(key)
+        return raised
+
+    # -- scalar step signals -------------------------------------------
+
+    def observe_step(self, step: int, loss: float | None = None,
+                     grad_norm: float | None = None
+                     ) -> list[HealthAlert]:
+        """Feed the step-level scalars (loss kept for the event stream;
+        the gradient norm drives the spike detector)."""
+        raised: list[HealthAlert] = []
+        if grad_norm is not None and math.isfinite(grad_norm):
+            z = self._grad.update(grad_norm)
+            if self._latch("grad").trip(z >= self.config.grad_z):
+                raised.append(self._raise_alert(HealthAlert(
+                    kind="grad_spike", step=step, severity="warn",
+                    value=float(grad_norm), threshold=self.config.grad_z,
+                    message=(f"gradient norm {grad_norm:.3g} spiked "
+                             f"(z={z:.1f})"))))
+        return raised

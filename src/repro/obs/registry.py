@@ -121,8 +121,12 @@ class Histogram:
         frac = pos - lo
         return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
-    def summary(self) -> dict[str, float]:
+    def summary(self) -> dict[str, float | bool]:
+        """Aggregate dump; every field is a defined finite value even
+        with zero observations (``empty`` flags that case so consumers
+        can tell a true 0.0 from "nothing was observed")."""
         return {
+            "empty": self.count == 0,
             "count": self.count,
             "total": self.total,
             "mean": self.mean,

@@ -1,0 +1,469 @@
+"""Persistent, append-only training-run registry (``repro.obs.runs``).
+
+The missing piece between per-step instrumentation (PR 1) and offline
+trace/bench analysis (PR 3): nothing so far *persisted* telemetry
+across process lifetimes.  A **run** is one directory under the
+registry root (``REPRO_RUNS_DIR``, default ``.repro_runs/``):
+
+``<root>/<run_id>/manifest.json``
+    Schema-versioned identity: run id, creation timestamp (passed in
+    or wall clock), seed, substrate, free-form config dict plus its
+    :func:`repro.bench.report.config_fingerprint`, best-effort
+    ``git describe``, status, and — once finalized — a summary dict.
+``<root>/<run_id>/events.jsonl``
+    The append-only event stream.  One JSON object per line:
+    ``{"schema": 1, "seq": n, "kind": str, "step": int|null,
+    "data": {...}}``.  Kinds in use: ``train_begin`` / ``step`` /
+    ``step_skipped`` / ``routing`` / ``alert`` / ``fault`` /
+    ``recovery`` / ``strategy_switch`` / ``ckpt_saved`` /
+    ``ckpt_restored`` / ``eval`` / ``bench_table`` / ``bench_result``.
+``<root>/<run_id>/metrics.json``
+    The final :class:`repro.obs.MetricsRegistry` snapshot (written by
+    :meth:`RunWriter.finalize` when an observer was active).
+
+A module-global *active run* mirrors the observer pattern of
+:mod:`repro.obs`: instrumented call sites do one ``is None`` check via
+:func:`get_run` and stay zero-cost when no run is recording.  The
+trainer auto-opens a run when ``REPRO_RUNS_DIR`` is set, benches do the
+same through the CLI, and :class:`RunStore` answers the offline
+questions (``repro runs list|show|diff|gc``, ``repro dashboard``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, IO, Iterator, Mapping
+
+from repro.bench.report import config_fingerprint
+
+__all__ = [
+    "RUN_SCHEMA_VERSION",
+    "DEFAULT_RUNS_DIR",
+    "RunManifest",
+    "RunWriter",
+    "RunStore",
+    "MetricDelta",
+    "runs_root",
+    "env_runs_root",
+    "get_run",
+    "set_run",
+    "recording_run",
+]
+
+RUN_SCHEMA_VERSION = 1
+
+#: Registry root used when ``REPRO_RUNS_DIR`` is unset.
+DEFAULT_RUNS_DIR = ".repro_runs"
+
+_MANIFEST = "manifest.json"
+_EVENTS = "events.jsonl"
+_METRICS = "metrics.json"
+
+
+def env_runs_root() -> Path | None:
+    """``REPRO_RUNS_DIR`` as a path, or None when recording is off."""
+    value = os.environ.get("REPRO_RUNS_DIR")
+    return Path(value) if value else None
+
+
+def runs_root(root: str | Path | None = None) -> Path:
+    """Resolve the registry root: explicit arg > env var > default."""
+    if root is not None:
+        return Path(root)
+    return env_runs_root() or Path(DEFAULT_RUNS_DIR)
+
+
+def _git_describe() -> str:
+    """Best-effort ``git describe`` of the working tree ("unknown" when
+    git or the repository is unavailable)."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            capture_output=True, text=True, timeout=5,
+            cwd=Path(__file__).resolve().parent)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    described = out.stdout.strip()
+    return described if out.returncode == 0 and described else "unknown"
+
+
+@dataclass
+class RunManifest:
+    """Schema-versioned identity record of one run."""
+
+    run_id: str
+    created_at: float
+    seed: int | None = None
+    substrate: str = "functional"
+    config: dict = field(default_factory=dict)
+    git: str = "unknown"
+    status: str = "running"            # or "complete"
+    summary: dict = field(default_factory=dict)
+    schema: int = RUN_SCHEMA_VERSION
+
+    @property
+    def fingerprint(self) -> str:
+        return config_fingerprint(self.config)
+
+    def to_json_obj(self) -> dict:
+        return {
+            "schema": self.schema,
+            "run_id": self.run_id,
+            "created_at": self.created_at,
+            "seed": self.seed,
+            "substrate": self.substrate,
+            "config": dict(self.config),
+            "fingerprint": self.fingerprint,
+            "git": self.git,
+            "status": self.status,
+            "summary": dict(self.summary),
+        }
+
+    @classmethod
+    def from_json_obj(cls, obj: Mapping) -> "RunManifest":
+        if obj.get("schema") != RUN_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported run manifest schema {obj.get('schema')!r}, "
+                f"expected {RUN_SCHEMA_VERSION}")
+        return cls(
+            run_id=obj["run_id"],
+            created_at=float(obj["created_at"]),
+            seed=obj.get("seed"),
+            substrate=obj.get("substrate", "functional"),
+            config=dict(obj.get("config", {})),
+            git=obj.get("git", "unknown"),
+            status=obj.get("status", "running"),
+            summary=dict(obj.get("summary", {})),
+            schema=int(obj["schema"]))
+
+
+def _write_manifest(directory: Path, manifest: RunManifest) -> None:
+    (directory / _MANIFEST).write_text(
+        json.dumps(manifest.to_json_obj(), indent=1, sort_keys=True)
+        + "\n")
+
+
+class RunWriter:
+    """Appends one run's manifest/event-stream/metrics to its directory.
+
+    Create with :meth:`create` (new run directory) or :meth:`resume`
+    (reopen an existing one after a checkpoint restore).  ``emit`` is
+    the hot path: one JSON line appended and flushed per event, so a
+    crashed run keeps everything recorded up to the crash.
+    """
+
+    def __init__(self, directory: Path, manifest: RunManifest,
+                 next_seq: int = 0) -> None:
+        self.directory = Path(directory)
+        self.manifest = manifest
+        self.current_step: int | None = None
+        self._seq = next_seq
+        self._fh: IO[str] | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @classmethod
+    def create(cls, root: str | Path | None = None,
+               run_id: str | None = None, seed: int | None = None,
+               config: Mapping | None = None,
+               substrate: str = "functional",
+               created_at: float | None = None) -> "RunWriter":
+        """Make ``<root>/<run_id>/`` and write its manifest.
+
+        ``created_at`` is the manifest timestamp every ordering
+        operation (``list``, ``latest``, ``gc``) sorts by; pass it
+        explicitly for deterministic registries (tests, replays) or
+        leave None for wall clock.  A generated ``run_id`` combines the
+        timestamp and config fingerprint, with a numeric suffix on
+        collision.
+        """
+        base = runs_root(root)
+        base.mkdir(parents=True, exist_ok=True)
+        ts = time.time() if created_at is None else float(created_at)
+        manifest = RunManifest(
+            run_id="", created_at=ts, seed=seed, substrate=substrate,
+            config=dict(config or {}), git=_git_describe())
+        if run_id is None:
+            stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime(ts))
+            run_id = f"run-{stamp}-{manifest.fingerprint[:6]}"
+        candidate, n = run_id, 1
+        while (base / candidate).exists():
+            n += 1
+            candidate = f"{run_id}-{n}"
+        manifest.run_id = candidate
+        directory = base / candidate
+        directory.mkdir()
+        _write_manifest(directory, manifest)
+        (directory / _EVENTS).touch()
+        return cls(directory, manifest)
+
+    @classmethod
+    def resume(cls, directory: str | Path,
+               from_step: int | None = None) -> "RunWriter":
+        """Reopen an existing run directory for appending.
+
+        ``from_step`` is the checkpoint step a restored trainer will
+        continue from: stepped events at ``step >= from_step`` (and
+        stale evaluation records, ``step < 0``) are compacted away so
+        the re-run steps append without duplicates — the one permitted
+        rewrite of the otherwise append-only stream.
+        """
+        directory = Path(directory)
+        manifest = RunManifest.from_json_obj(
+            json.loads((directory / _MANIFEST).read_text()))
+        manifest.status = "running"
+        _write_manifest(directory, manifest)
+        events_path = directory / _EVENTS
+        kept: list[dict] = []
+        if events_path.exists():
+            for line in events_path.read_text().splitlines():
+                if not line.strip():
+                    continue
+                event = json.loads(line)
+                step = event.get("step")
+                if from_step is not None and step is not None and (
+                        step >= from_step or step < 0):
+                    continue
+                kept.append(event)
+        if from_step is not None:
+            events_path.write_text(
+                "".join(json.dumps(e) + "\n" for e in kept))
+        next_seq = 1 + max((e.get("seq", -1) for e in kept), default=-1)
+        writer = cls(directory, manifest, next_seq=next_seq)
+        return writer
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- event stream --------------------------------------------------
+
+    def begin_step(self, step: int) -> None:
+        """Default ``step`` attached to subsequent layer-level events."""
+        self.current_step = step
+
+    def emit(self, kind: str, step: int | None = None,
+             data: Mapping | None = None) -> None:
+        """Append one event line (flushed, so crashes lose nothing)."""
+        if self._fh is None:
+            self._fh = open(self.directory / _EVENTS, "a")
+        event = {"schema": RUN_SCHEMA_VERSION, "seq": self._seq,
+                 "kind": kind,
+                 "step": self.current_step if step is None else step,
+                 "data": dict(data or {})}
+        self._seq += 1
+        self._fh.write(json.dumps(event) + "\n")
+        self._fh.flush()
+
+    def update_summary(self, summary: Mapping) -> None:
+        """Merge keys into the manifest summary without completing the
+        run — lets instrumented code (the trainer) contribute metrics
+        to a run someone else opened and will finalize."""
+        self.manifest.summary.update(summary)
+        _write_manifest(self.directory, self.manifest)
+
+    def finalize(self, registry_snapshot: Mapping | None = None,
+                 summary: Mapping | None = None) -> None:
+        """Mark the run complete; persist summary + metrics snapshot."""
+        if registry_snapshot is not None:
+            (self.directory / _METRICS).write_text(
+                json.dumps(registry_snapshot, indent=1, sort_keys=True)
+                + "\n")
+        self.manifest.status = "complete"
+        if summary is not None:
+            self.manifest.summary = dict(summary)
+        _write_manifest(self.directory, self.manifest)
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Process-wide active run (None = not recording, the default)
+# ----------------------------------------------------------------------
+
+_run: RunWriter | None = None
+
+
+def get_run() -> RunWriter | None:
+    return _run
+
+
+def set_run(run: RunWriter | None) -> RunWriter | None:
+    """Install (or clear, with None) the process-wide active run."""
+    global _run
+    previous = _run
+    _run = run
+    return previous
+
+
+class recording_run:
+    """Context manager: create, install, and finalize a run.
+
+    ::
+
+        with recording_run(config={"bench": "fig25"}) as run:
+            ...             # instrumented code emits into the run
+    """
+
+    def __init__(self, **create_kwargs: Any) -> None:
+        self._kwargs = create_kwargs
+        self.run: RunWriter | None = None
+        self._previous: RunWriter | None = None
+
+    def __enter__(self) -> RunWriter:
+        self.run = RunWriter.create(**self._kwargs)
+        self._previous = set_run(self.run)
+        return self.run
+
+    def __exit__(self, *exc: object) -> None:
+        assert self.run is not None
+        if self.run.manifest.status != "complete":
+            self.run.finalize()
+        set_run(self._previous)
+
+
+# ----------------------------------------------------------------------
+# Offline queries: list / show / diff / gc
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric compared across two runs (``repro runs diff``)."""
+
+    name: str
+    a: float | None
+    b: float | None
+
+    @property
+    def delta(self) -> float | None:
+        if self.a is None or self.b is None:
+            return None
+        return self.b - self.a
+
+
+class RunStore:
+    """Read-side API over a registry root."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = runs_root(root)
+
+    def run_ids(self) -> list[str]:
+        """All run ids, oldest first (manifest timestamp, then id)."""
+        return [m.run_id for m in self.manifests()]
+
+    def manifests(self) -> list[RunManifest]:
+        if not self.root.is_dir():
+            return []
+        out = []
+        for path in self.root.iterdir():
+            if (path / _MANIFEST).is_file():
+                out.append(RunManifest.from_json_obj(
+                    json.loads((path / _MANIFEST).read_text())))
+        out.sort(key=lambda m: (m.created_at, m.run_id))
+        return out
+
+    def path(self, run_id: str) -> Path:
+        return self.root / run_id
+
+    def manifest(self, run_id: str) -> RunManifest:
+        path = self.path(run_id) / _MANIFEST
+        if not path.is_file():
+            raise KeyError(f"no run {run_id!r} under {self.root}")
+        return RunManifest.from_json_obj(json.loads(path.read_text()))
+
+    def events(self, run_id: str) -> list[dict]:
+        path = self.path(run_id) / _EVENTS
+        if not path.is_file():
+            return []
+        return [json.loads(line)
+                for line in path.read_text().splitlines()
+                if line.strip()]
+
+    def iter_events(self, run_id: str,
+                    kind: str | None = None) -> Iterator[dict]:
+        for event in self.events(run_id):
+            if kind is None or event.get("kind") == kind:
+                yield event
+
+    def metrics(self, run_id: str) -> dict | None:
+        path = self.path(run_id) / _METRICS
+        if not path.is_file():
+            return None
+        return json.loads(path.read_text())
+
+    def latest(self) -> str:
+        manifests = self.manifests()
+        if not manifests:
+            raise KeyError(f"no runs under {self.root}")
+        return manifests[-1].run_id
+
+    def resolve(self, token: str) -> str:
+        """Run id from ``"latest"``, an exact id, or a unique prefix."""
+        if token == "latest":
+            return self.latest()
+        ids = self.run_ids()
+        if token in ids:
+            return token
+        matches = [r for r in ids if r.startswith(token)]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise KeyError(f"no run matching {token!r} under {self.root}")
+        raise KeyError(f"ambiguous run prefix {token!r}: "
+                       f"{', '.join(sorted(matches))}")
+
+    # -- diff ----------------------------------------------------------
+
+    def _scalars(self, run_id: str) -> dict[str, float]:
+        """Comparable scalars of one run: manifest summary values plus
+        the final counters/gauges of the metrics snapshot."""
+        out: dict[str, float] = {}
+        for key, value in self.manifest(run_id).summary.items():
+            if isinstance(value, (int, float)) \
+                    and not isinstance(value, bool):
+                out[f"summary.{key}"] = float(value)
+        snapshot = self.metrics(run_id) or {}
+        for family in ("counters", "gauges"):
+            for name, value in snapshot.get(family, {}).items():
+                out[f"{family}.{name}"] = float(value)
+        return out
+
+    def diff(self, run_a: str, run_b: str) -> list[MetricDelta]:
+        """Per-metric deltas between two runs (b minus a)."""
+        a = self._scalars(self.resolve(run_a))
+        b = self._scalars(self.resolve(run_b))
+        return [MetricDelta(name, a.get(name), b.get(name))
+                for name in sorted(set(a) | set(b))]
+
+    # -- gc ------------------------------------------------------------
+
+    def gc(self, keep: int, dry_run: bool = False) -> list[str]:
+        """Prune the oldest runs, keeping the newest ``keep``.
+
+        Ordering uses the manifest ``created_at`` (the timestamp the
+        run was *created with*, not the wall clock at gc time), so
+        pruning is deterministic and unit-testable.  Returns the run
+        ids removed (or, with ``dry_run``, those that would be).
+        """
+        if keep < 0:
+            raise ValueError(f"keep must be >= 0, got {keep}")
+        manifests = self.manifests()
+        doomed = manifests[:max(0, len(manifests) - keep)]
+        removed = []
+        for manifest in doomed:
+            if not dry_run:
+                shutil.rmtree(self.path(manifest.run_id))
+            removed.append(manifest.run_id)
+        return removed

@@ -39,6 +39,7 @@ __all__ = [
     "CAT_BENCH",
     "CAT_FAULT",
     "CAT_CKPT",
+    "CAT_HEALTH",
 ]
 
 # Event categories (the Chrome-trace ``cat`` field).
@@ -50,6 +51,7 @@ CAT_SIM = "sim"                # simulated-clock op spans
 CAT_BENCH = "bench"            # explicit benchmark timers
 CAT_FAULT = "fault"            # injected faults and recoveries
 CAT_CKPT = "ckpt"              # checkpoint save/restore markers
+CAT_HEALTH = "health"          # online health-detector alerts
 
 _MICRO = 1e6
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.obs import CAT_PIPELINE, get_observer
+from repro.obs.runs import get_run
 from repro.pipeline.schedule import PipelineStrategy, all_strategies
 
 __all__ = [
@@ -111,6 +112,10 @@ class OnlinePipeliningSearch:
         default_factory=dict)
     buckets: list[Bucket] = field(default_factory=list)
     known_factors: list[float] = field(default_factory=list)
+    # Last strategy chosen per bucket (keyed by bucket low), so step()
+    # can flag switches as observability events.
+    last_choice: dict[float, PipelineStrategy] = field(
+        default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.bucket_length <= 0:
@@ -216,6 +221,22 @@ class OnlinePipeliningSearch:
         call; on hardware, a CUDA-event timing).
         """
         strategy = self.get_strategy(capacity_factor)
+        bucket_low = self._bucket_of(float(capacity_factor)).low
+        previous = self.last_choice.get(bucket_low)
+        if previous is not None and previous != strategy:
+            # The adaptive runtime changed its mind for this workload
+            # band — the Figure 5 event the run timeline plots.
+            switch = {"f": float(capacity_factor),
+                      "bucket_low": bucket_low,
+                      "from": previous.describe(),
+                      "to": strategy.describe()}
+            ob = get_observer()
+            if ob is not None:
+                ob.instant("strategy_switch", CAT_PIPELINE, args=switch)
+            run = get_run()
+            if run is not None:
+                run.emit("strategy_switch", data=switch)
+        self.last_choice[bucket_low] = strategy
         elapsed = measure(strategy)
         self.optimize_strategy(capacity_factor, strategy, elapsed)
         return strategy, elapsed

@@ -32,6 +32,7 @@ from repro.cluster.topology import ClusterTopology
 from repro.collectives.schedule import feasible_a2a_algorithms
 from repro.core.config import MoEConfig
 from repro.obs import CAT_FAULT, get_observer
+from repro.obs.runs import get_run
 from repro.parallel.strategy import StrategyCost, best_strategy
 
 __all__ = ["RecoveryDecision", "reselect_strategy"]
@@ -148,4 +149,14 @@ def reselect_strategy(cfg: MoEConfig, topo: ClusterTopology,
             "world": surviving,
             "slowdown": decision.slowdown})
         ob.gauge("recovery.slowdown", decision.slowdown)
+    run = get_run()
+    if run is not None:
+        run.emit("fault", data={"kind": "rank_failure",
+                                "ranks": list(failed)})
+        run.emit("recovery", data={
+            "kind": "strategy_reselection",
+            "strategy": cost.strategy.value,
+            "a2a": cost.a2a_algorithm.value,
+            "world": surviving,
+            "slowdown": decision.slowdown})
     return decision

@@ -12,6 +12,19 @@ Resilience features (see DESIGN.md "Resilience"):
 * **Graceful expert degradation** — ``step_hook`` lets a fault plan
   call :meth:`MoEClassifier.fail_expert` mid-run; gating renormalizes
   over the surviving experts and training continues.
+
+Observability (see DESIGN.md "Run registry"):
+
+* When ``REPRO_RUNS_DIR`` is set (and no run is already active) the
+  trainer opens a run directory via :mod:`repro.obs.runs`, streams
+  ``train_begin`` / ``step`` / ``routing`` / ``step_skipped`` /
+  ``ckpt_saved`` / ``ckpt_restored`` / ``eval`` events into it, and
+  finalizes it with a summary + metrics snapshot.
+* A :class:`repro.obs.health.HealthMonitor` (a default one whenever a
+  run is recording, or any instance passed via ``health=``) watches
+  every layer's routing stats and the per-step loss / gradient norm;
+  the alerts it raises land in ``TrainResult.health_alerts`` and the
+  run's event stream.
 """
 
 from __future__ import annotations
@@ -30,6 +43,7 @@ from repro.nn.models import MoEClassifier
 from repro.nn.modules import Module
 from repro.obs import CAT_FAULT, CAT_CKPT, CAT_TRAIN, get_observer
 from repro.obs import span as _span
+from repro.obs.runs import RunWriter, env_runs_root, get_run, set_run
 from repro.train.data import TokenBatch
 from repro.train.schedules import apply_sparsity_schedules
 
@@ -56,6 +70,10 @@ class TrainResult:
     skipped_steps: list[int] = field(default_factory=list)
     # Checkpoint files written by this run, in order.
     checkpoint_paths: list[str] = field(default_factory=list)
+    # HealthAlerts raised by the online monitor, in step order.
+    health_alerts: list = field(default_factory=list)
+    # Run directory id when a run recorded this training, else None.
+    run_id: str | None = None
 
 
 def _accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
@@ -86,7 +104,8 @@ def train_model(model: Module, train: TokenBatch, test: TokenBatch,
                 checkpoint_dir: str | None = None,
                 resume_from: str | None = None,
                 nonfinite_guard: bool = True,
-                step_hook: Callable[[int, Module], None] | None = None
+                step_hook: Callable[[int, Module], None] | None = None,
+                health=None
                 ) -> TrainResult:
     """Train with Adam on cross-entropy + auxiliary load-balance loss.
 
@@ -104,7 +123,72 @@ def train_model(model: Module, train: TokenBatch, test: TokenBatch,
     scenario uses it to fail an expert mid-run.  ``nonfinite_guard``
     skips NaN/Inf steps and rolls parameters back to the last good
     state instead of letting the divergence propagate.
+
+    ``health`` is an optional
+    :class:`repro.obs.health.HealthMonitor`; with a run recording (an
+    active run, or ``REPRO_RUNS_DIR`` set) a default monitor is created
+    when none is passed.  Its alerts accumulate in
+    ``TrainResult.health_alerts``.
     """
+    auto_run = None
+    if get_run() is None and env_runs_root() is not None:
+        auto_run = RunWriter.create(
+            seed=seed,
+            config={"kind": "train", "steps": steps,
+                    "batch_size": batch_size, "lr": lr,
+                    "aux_weight": aux_weight, "grad_clip": grad_clip,
+                    "resumed": resume_from is not None},
+            substrate="functional")
+        set_run(auto_run)
+    try:
+        result = _train_loop(
+            model, train, test, steps=steps, batch_size=batch_size,
+            lr=lr, aux_weight=aux_weight, weight_decay=weight_decay,
+            grad_clip=grad_clip, seed=seed,
+            top_k_schedule=top_k_schedule,
+            capacity_schedule=capacity_schedule,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir, resume_from=resume_from,
+            nonfinite_guard=nonfinite_guard, step_hook=step_hook,
+            health=health)
+        summary = {
+            "steps": steps,
+            "final_train_loss": result.final_train_loss,
+            "final_train_accuracy": result.final_train_accuracy,
+            "eval_accuracy": result.eval_accuracy,
+            "skipped_steps": len(result.skipped_steps),
+            "alerts": len(result.health_alerts),
+        }
+        if auto_run is not None:
+            ob = get_observer()
+            auto_run.finalize(
+                registry_snapshot=(ob.registry.snapshot()
+                                   if ob is not None else None),
+                summary=summary)
+        else:
+            run = get_run()
+            if run is not None:
+                # Someone else owns the run (and will finalize it);
+                # contribute the training summary without completing.
+                run.update_summary(summary)
+        return result
+    finally:
+        if auto_run is not None:
+            auto_run.close()
+            set_run(None)
+
+
+def _train_loop(model: Module, train: TokenBatch, test: TokenBatch, *,
+                steps: int, batch_size: int, lr: float,
+                aux_weight: float, weight_decay: float,
+                grad_clip: float, seed: int,
+                top_k_schedule: Callable[[int], float] | None,
+                capacity_schedule: Callable[[int], float] | None,
+                checkpoint_every: int | None,
+                checkpoint_dir: str | None, resume_from: str | None,
+                nonfinite_guard: bool,
+                step_hook: Callable[[int, Module], None] | None,
+                health) -> TrainResult:
     if steps < 1:
         raise ValueError(f"steps must be >= 1, got {steps}")
     if checkpoint_every is not None:
@@ -130,6 +214,13 @@ def train_model(model: Module, train: TokenBatch, test: TokenBatch,
     for i in range(len(moe_layers)):
         result.capacity_traces[i] = []
 
+    run = get_run()
+    if run is not None:
+        result.run_id = run.manifest.run_id
+        if health is None:
+            from repro.obs.health import HealthMonitor
+            health = HealthMonitor()
+
     start_step = 0
     if resume_from is not None:
         ckpt = load_checkpoint(resume_from)
@@ -144,6 +235,9 @@ def train_model(model: Module, train: TokenBatch, test: TokenBatch,
         result.skipped_steps = list(ckpt.skipped_steps)
         for i, trace in ckpt.capacity_traces.items():
             result.capacity_traces[i] = list(trace)
+        if run is not None:
+            run.emit("ckpt_restored", step=start_step,
+                     data={"step": start_step, "path": resume_from})
 
     def snapshot():
         return ([p.data.copy() for p in params],
@@ -164,6 +258,11 @@ def train_model(model: Module, train: TokenBatch, test: TokenBatch,
 
     last_good = snapshot() if nonfinite_guard else None
 
+    if run is not None:
+        run.emit("train_begin", step=start_step,
+                 data={"steps": steps, "start_step": start_step,
+                       "seed": seed})
+
     n = len(train)
     for step in range(start_step, steps):
         # Step boundary first so every instrumented MoE layer's
@@ -171,6 +270,8 @@ def train_model(model: Module, train: TokenBatch, test: TokenBatch,
         ob = get_observer()
         if ob is not None:
             ob.begin_step(step)
+        if run is not None:
+            run.begin_step(step)
         if step_hook is not None:
             step_hook(step, model)
         with _span("step", CAT_TRAIN):
@@ -199,22 +300,48 @@ def train_model(model: Module, train: TokenBatch, test: TokenBatch,
                                args={"step": step})
                     ob.instant("recovered", CAT_FAULT, args={
                         "kind": "nonfinite_step", "step": step})
+                if run is not None:
+                    run.emit("step_skipped", data={"step": step})
                 continue
             with _span("optimizer", CAT_TRAIN):
-                clip_grad_norm(params, grad_clip)
+                gnorm = clip_grad_norm(params, grad_clip)
                 optimizer.step()
 
-        result.losses.append(float(loss.data))
-        result.train_accuracies.append(_accuracy(logits.data, yb))
+        loss_val = float(loss.data)
+        acc = _accuracy(logits.data, yb)
+        result.losses.append(loss_val)
+        result.train_accuracies.append(acc)
         if nonfinite_guard:
             last_good = snapshot()
         if ob is not None:
             ob.count("train.steps")
-            ob.gauge("train.loss", float(loss.data))
+            ob.gauge("train.loss", loss_val)
+        if run is not None:
+            run.emit("step", data={"loss": loss_val, "accuracy": acc,
+                                   "grad_norm": gnorm})
         for i, layer in enumerate(moe_layers):
             if layer.last_needed_capacity_factor is not None:
                 result.capacity_traces[i].append(
                     layer.last_needed_capacity_factor)
+            stats = layer.last_routing_stats
+            if stats is None:
+                continue
+            if run is not None:
+                run.emit("routing", data={
+                    "layer": i,
+                    "entropy": stats.routing_entropy,
+                    "gini": stats.load_gini,
+                    "dropped_fraction": stats.dropped_fraction,
+                    "needed_capacity_factor":
+                        stats.needed_capacity_factor,
+                    "expert_load": list(stats.expert_load)})
+            if health is not None:
+                result.health_alerts.extend(
+                    health.observe_routing(step, i, stats))
+        if health is not None:
+            result.health_alerts.extend(
+                health.observe_step(step, loss=loss_val,
+                                    grad_norm=gnorm))
 
         completed = step + 1
         if (checkpoint_every is not None
@@ -229,6 +356,9 @@ def train_model(model: Module, train: TokenBatch, test: TokenBatch,
             if ob is not None:
                 ob.instant("saved", CAT_CKPT,
                            args={"step": completed, "path": path})
+            if run is not None:
+                run.emit("ckpt_saved", step=completed,
+                         data={"step": completed, "path": path})
 
     # Window-averaged final metrics: clamp the window when fewer than
     # 20 steps contributed (short runs, or steps lost to the guard) so
@@ -246,7 +376,12 @@ def train_model(model: Module, train: TokenBatch, test: TokenBatch,
         # Mark the held-out forward so its routing records don't get
         # attributed to the last training step (step -1 = evaluation).
         ob.begin_step(-1)
+    if run is not None:
+        run.begin_step(-1)
     result.eval_accuracy = evaluate(model, test)
+    if run is not None:
+        run.emit("eval", step=-1,
+                 data={"accuracy": result.eval_accuracy})
     return result
 
 

@@ -117,6 +117,97 @@ class TestAnalyzeCommand:
             main(["analyze", "no-such-trace.json"])
 
 
+class TestRunsCommand:
+    @pytest.fixture()
+    def registry(self, tmp_path):
+        from repro.obs.runs import RunWriter
+
+        for run_id, stamp, seed, loss in (("alpha", 10.0, 0, 1.5),
+                                          ("beta", 20.0, 1, 1.2)):
+            w = RunWriter.create(root=tmp_path, run_id=run_id,
+                                 seed=seed, config={"kind": "train"},
+                                 created_at=stamp)
+            w.emit("step", step=0, data={"loss": loss})
+            w.emit("alert", step=0, data={
+                "kind": "drop_rate", "severity": "warn",
+                "message": "too many drops"})
+            w.finalize(summary={"final_train_loss": loss})
+        return tmp_path
+
+    def test_runs_list(self, registry, capsys):
+        assert main(["runs", "list", "--dir", str(registry)]) == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out and "beta" in out
+        assert "complete" in out
+
+    def test_runs_list_empty(self, tmp_path, capsys):
+        assert main(["runs", "list", "--dir",
+                     str(tmp_path / "none")]) == 0
+        assert "no runs under" in capsys.readouterr().out
+
+    def test_runs_show(self, registry, capsys):
+        assert main(["runs", "show", "alpha",
+                     "--dir", str(registry)]) == 0
+        out = capsys.readouterr().out
+        assert '"run_id": "alpha"' in out
+        assert "step=1" in out and "alert=1" in out
+        assert "drop_rate" in out
+
+    def test_runs_diff(self, registry, capsys):
+        assert main(["runs", "diff", "alpha", "beta",
+                     "--dir", str(registry)]) == 0
+        out = capsys.readouterr().out
+        assert "summary.final_train_loss" in out
+        assert "-0.3" in out
+
+    def test_runs_diff_changed_only_identical(self, registry, capsys):
+        assert main(["runs", "diff", "alpha", "alpha",
+                     "--changed-only", "--dir", str(registry)]) == 0
+        assert "no differing metrics" in capsys.readouterr().out
+
+    def test_runs_gc_dry_run_then_real(self, registry, capsys):
+        assert main(["runs", "gc", "--keep", "1", "--dry-run",
+                     "--dir", str(registry)]) == 0
+        assert "would remove alpha" in capsys.readouterr().out
+        assert (registry / "alpha").is_dir()
+        assert main(["runs", "gc", "--keep", "1",
+                     "--dir", str(registry)]) == 0
+        assert "removed alpha" in capsys.readouterr().out
+        assert not (registry / "alpha").exists()
+
+    def test_runs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["runs"])
+
+    def test_unknown_run_exits_cleanly(self, registry):
+        with pytest.raises(SystemExit, match="no run matching"):
+            main(["runs", "show", "zzz", "--dir", str(registry)])
+        with pytest.raises(SystemExit, match="no run matching"):
+            main(["dashboard", "zzz", "--dir", str(registry)])
+
+    def test_dashboard_command(self, registry, tmp_path, capsys):
+        out_html = tmp_path / "dash.html"
+        assert main(["dashboard", "latest", "-o", str(out_html),
+                     "--dir", str(registry)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        text = out_html.read_text()
+        assert text.lstrip().startswith("<!DOCTYPE html>")
+        assert "beta" in text            # latest run is beta
+
+    def test_bench_records_run(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path))
+        assert main(["bench", "fig06"]) == 0
+        out = capsys.readouterr().out
+        assert "[runs] recording run" in out
+        from repro.obs.runs import RunStore
+
+        store = RunStore(tmp_path)
+        run_id = store.latest()
+        assert store.manifest(run_id).status == "complete"
+        kinds = {e["kind"] for e in store.events(run_id)}
+        assert "bench_table" in kinds
+
+
 class TestChaosCommand:
     def test_chaos_smoke(self, tmp_path, capsys):
         from repro import obs as obs_module

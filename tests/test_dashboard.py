@@ -1,0 +1,183 @@
+"""Tests for the zero-dependency HTML dashboard (repro.obs.dashboard)."""
+
+from html.parser import HTMLParser
+
+import pytest
+
+from repro.obs.dashboard import (
+    build_series,
+    render_dashboard,
+    write_dashboard,
+)
+from repro.obs.runs import RunStore, RunWriter
+
+_VOID_TAGS = {"br", "hr", "img", "input", "meta", "link"}
+
+
+class WellFormedChecker(HTMLParser):
+    """Asserts tags nest properly and close in order (SVG included)."""
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.stack: list[str] = []
+        self.errors: list[str] = []
+        self.tag_counts: dict[str, int] = {}
+
+    def handle_starttag(self, tag, attrs):
+        self.tag_counts[tag] = self.tag_counts.get(tag, 0) + 1
+        if tag not in _VOID_TAGS:
+            self.stack.append(tag)
+
+    def handle_startendtag(self, tag, attrs):
+        self.tag_counts[tag] = self.tag_counts.get(tag, 0) + 1
+
+    def handle_endtag(self, tag):
+        if tag in _VOID_TAGS:
+            return
+        if not self.stack:
+            self.errors.append(f"closing </{tag}> with empty stack")
+        elif self.stack[-1] != tag:
+            self.errors.append(
+                f"closing </{tag}> but open is <{self.stack[-1]}>")
+        else:
+            self.stack.pop()
+
+
+def check_well_formed(doc: str) -> WellFormedChecker:
+    parser = WellFormedChecker()
+    parser.feed(doc)
+    parser.close()
+    assert parser.errors == [], parser.errors
+    assert parser.stack == [], f"unclosed tags: {parser.stack}"
+    return parser
+
+
+def populate_run(root, run_id="r1", created_at=1.0, seed=0,
+                 with_alerts=True):
+    writer = RunWriter.create(root=root, run_id=run_id, seed=seed,
+                              config={"kind": "train"},
+                              created_at=created_at)
+    writer.emit("train_begin", data={"steps": 6, "start_step": 0,
+                                     "seed": seed})
+    for step in range(6):
+        writer.begin_step(step)
+        writer.emit("routing", data={
+            "layer": 0, "entropy": 0.9 - 0.1 * step,
+            "gini": 0.1 + 0.05 * step, "dropped_fraction": 0.0,
+            "needed_capacity_factor": 1.0,
+            "expert_load": [16, 20, 12, 16]})
+        writer.emit("step", data={"loss": 2.0 - 0.2 * step,
+                                  "accuracy": 0.3 + 0.1 * step,
+                                  "grad_norm": 1.0})
+    if with_alerts:
+        writer.emit("fault", step=3, data={"kind": "expert_failure",
+                                           "expert": 2})
+        writer.emit("alert", step=4, data={
+            "kind": "dead_expert", "step": 4, "severity": "critical",
+            "value": 0.0, "threshold": 1.6, "layer": 0, "expert": 2,
+            "message": "expert 2 starved"})
+        writer.emit("alert", step=5, data={
+            "kind": "entropy_drift", "step": 5, "severity": "warn",
+            "value": 0.4, "threshold": -4.0, "layer": 0,
+            "expert": None, "message": "entropy drop"})
+    writer.emit("eval", step=-1, data={"accuracy": 0.75})
+    writer.finalize(summary={"final_train_loss": 1.0,
+                             "eval_accuracy": 0.75})
+    return writer
+
+
+class TestBuildSeries:
+    def test_folds_stream_into_series(self, tmp_path):
+        populate_run(tmp_path)
+        series = build_series(RunStore(tmp_path).events("r1"))
+        assert series.steps == list(range(6))
+        assert series.loss[0] == pytest.approx(2.0)
+        assert series.layers == [0]
+        assert len(series.entropy[0]) == 6
+        assert series.expert_load[0][0] == [16, 20, 12, 16]
+        assert [a["kind"] for a in series.alerts] == [
+            "dead_expert", "entropy_drift"]
+        assert [t["kind"] for t in series.timeline] == ["fault"]
+        assert series.timeline[0]["what"] == "expert_failure"
+        assert series.evals == [{"accuracy": 0.75}]
+
+    def test_negative_step_routing_excluded(self):
+        series = build_series([
+            {"kind": "routing", "step": -1, "data": {"layer": 0}},
+            {"kind": "routing", "step": 2,
+             "data": {"layer": 0, "entropy": 0.5}},
+        ])
+        assert series.routing_steps[0] == [2]
+
+    def test_empty_stream(self):
+        series = build_series([])
+        assert series.steps == [] and series.layers == []
+
+
+class TestRenderDashboard:
+    def test_well_formed_with_all_panels(self, tmp_path):
+        populate_run(tmp_path)
+        doc = render_dashboard(RunStore(tmp_path), "r1")
+        parser = check_well_formed(doc)
+        assert doc.lstrip().startswith("<!DOCTYPE html>")
+        assert parser.tag_counts.get("svg", 0) >= 3  # loss/entropy/gini
+        assert parser.tag_counts.get("rect", 0) >= 24  # 4x6 heatmap
+        # no external resources: self-contained single file
+        assert "http://" not in doc and "https://" not in doc
+        assert "<script src" not in doc and "<link" not in doc
+
+    def test_alert_markers_and_severity_labels(self, tmp_path):
+        populate_run(tmp_path)
+        doc = render_dashboard(RunStore(tmp_path), "latest")
+        assert "status-critical" in doc
+        assert "dead_expert" in doc and "entropy_drift" in doc
+        # status is never color-alone: glyph+word labels present
+        assert "critical" in doc and "warning" in doc
+
+    def test_header_carries_manifest_fields(self, tmp_path):
+        populate_run(tmp_path, seed=42)
+        doc = render_dashboard(RunStore(tmp_path))
+        assert "r1" in doc and "42" in doc
+
+    def test_dark_mode_and_custom_properties(self, tmp_path):
+        populate_run(tmp_path)
+        doc = render_dashboard(RunStore(tmp_path))
+        assert "prefers-color-scheme: dark" in doc
+        assert "--series-1" in doc
+
+    def test_empty_run_renders(self, tmp_path):
+        writer = RunWriter.create(root=tmp_path, run_id="empty",
+                                  created_at=1.0)
+        writer.finalize()
+        doc = render_dashboard(RunStore(tmp_path), "empty")
+        check_well_formed(doc)
+        assert "no training steps recorded" in doc
+        assert "no health alerts raised" in doc
+
+    def test_html_escaping_of_untrusted_fields(self, tmp_path):
+        writer = RunWriter.create(
+            root=tmp_path, run_id="esc", created_at=1.0,
+            config={"note": "<script>alert(1)</script>"})
+        writer.emit("alert", step=0, data={
+            "kind": "entropy_drift", "step": 0, "severity": "warn",
+            "value": 0.1, "threshold": 0.5, "layer": 0,
+            "expert": None, "message": "<img src=x onerror=y>"})
+        writer.finalize()
+        doc = render_dashboard(RunStore(tmp_path), "esc")
+        check_well_formed(doc)
+        assert "<script>alert(1)</script>" not in doc
+        assert "<img src=x" not in doc
+
+    def test_unknown_run_raises(self, tmp_path):
+        populate_run(tmp_path)
+        with pytest.raises(KeyError):
+            render_dashboard(RunStore(tmp_path), "nope")
+
+
+class TestWriteDashboard:
+    def test_writes_file(self, tmp_path):
+        populate_run(tmp_path / "runs")
+        out = write_dashboard(RunStore(tmp_path / "runs"), "latest",
+                              tmp_path / "out" / "dash.html")
+        assert out.is_file()
+        check_well_formed(out.read_text())

@@ -1,0 +1,258 @@
+"""Tests for the online health detectors (repro.obs.health)."""
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+import pytest
+
+from repro.obs.health import (
+    EwmaDetector,
+    HealthAlert,
+    HealthConfig,
+    HealthMonitor,
+)
+from repro.obs.runs import RunStore, recording_run
+
+
+@dataclass
+class FakeStats:
+    """Duck-typed stand-in for repro.moe.metrics.RoutingStats."""
+
+    num_tokens: int = 64
+    top_k: int = 2
+    routing_entropy: float = 0.9
+    load_gini: float = 0.1
+    dropped_fraction: float = 0.0
+    needed_capacity_factor: float = 1.0
+    expert_load: tuple = field(
+        default_factory=lambda: (16, 16, 16, 16, 16, 16, 16, 16))
+
+
+def healthy(**overrides) -> FakeStats:
+    return FakeStats(**overrides)
+
+
+class TestEwmaDetector:
+    def test_no_score_during_warmup(self):
+        det = EwmaDetector(alpha=0.2, warmup=3)
+        assert det.update(1.0) == 0.0
+        assert det.update(100.0) == 0.0   # count=1 < warmup
+        assert det.update(100.0) == 0.0   # count=2 < warmup
+
+    def test_scores_against_pre_update_moments(self):
+        det = EwmaDetector(alpha=0.5, warmup=1)
+        det.update(0.0)
+        det.update(2.0)                   # mean=1.0, var=0.5*(0+0.5*4)=1
+        z = det.update(3.0)
+        assert z == pytest.approx((3.0 - 1.0) / math.sqrt(1.0))
+
+    def test_zero_variance_yields_zero(self):
+        det = EwmaDetector(alpha=0.3, warmup=1)
+        for _ in range(10):
+            assert det.update(5.0) == 0.0
+
+    def test_deterministic(self):
+        values = list(np.random.default_rng(0).normal(size=50))
+        a = EwmaDetector(alpha=0.15, warmup=8)
+        b = EwmaDetector(alpha=0.15, warmup=8)
+        assert [a.update(v) for v in values] == \
+               [b.update(v) for v in values]
+
+    def test_spike_scores_high(self):
+        det = EwmaDetector(alpha=0.15, warmup=4)
+        for v in [1.0, 1.1, 0.9, 1.0, 1.05, 0.95]:
+            det.update(v)
+        assert det.update(10.0) > 6.0
+
+    def test_no_nan_under_raise(self):
+        det = EwmaDetector(alpha=0.15, warmup=2)
+        with np.errstate(all="raise"):
+            for v in [0.0, 0.0, 0.0, 1e-300, 0.0]:
+                assert math.isfinite(det.update(v))
+
+
+class TestHealthConfig:
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError, match="ewma_alpha"):
+            HealthConfig(ewma_alpha=0.0)
+        with pytest.raises(ValueError, match="ewma_alpha"):
+            HealthConfig(ewma_alpha=1.5)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError, match="dead_window"):
+            HealthConfig(dead_window=0)
+
+
+class TestEntropyDetector:
+    def test_floor_breach_is_critical_and_latched(self):
+        mon = HealthMonitor(HealthConfig(warmup_steps=2))
+        for step in range(4):
+            mon.observe_routing(step, 0, healthy())
+        first = mon.observe_routing(4, 0, healthy(routing_entropy=0.2))
+        assert [a.kind for a in first] == ["entropy_drift"]
+        assert first[0].severity == "critical"
+        assert first[0].step == 4 and first[0].layer == 0
+        # persists -> no second alert while still bad
+        again = mon.observe_routing(5, 0, healthy(routing_entropy=0.2))
+        assert [a.kind for a in again] == []
+
+    def test_rearms_after_recovery(self):
+        mon = HealthMonitor(HealthConfig(warmup_steps=2))
+        mon.observe_routing(0, 0, healthy())
+        mon.observe_routing(1, 0, healthy(routing_entropy=0.2))
+        mon.observe_routing(2, 0, healthy())            # recovers
+        raised = mon.observe_routing(3, 0, healthy(routing_entropy=0.2))
+        assert [a.kind for a in raised] == ["entropy_drift"]
+        assert sum(a.kind == "entropy_drift"
+                   for a in mon.alerts) == 2
+
+    def test_z_drift_warn_without_floor_breach(self):
+        mon = HealthMonitor(HealthConfig(warmup_steps=4, entropy_z=4.0))
+        for step, e in enumerate([0.90, 0.91, 0.89, 0.90, 0.91, 0.90]):
+            assert mon.observe_routing(step, 0, healthy(
+                routing_entropy=e)) == []
+        raised = mon.observe_routing(6, 0, healthy(routing_entropy=0.7))
+        assert [a.kind for a in raised] == ["entropy_drift"]
+        assert raised[0].severity == "warn"
+
+    def test_layers_tracked_independently(self):
+        mon = HealthMonitor(HealthConfig(warmup_steps=1))
+        mon.observe_routing(0, 0, healthy(routing_entropy=0.2))
+        raised = mon.observe_routing(0, 1, healthy(routing_entropy=0.2))
+        assert [a.layer for a in mon.alerts] == [0, 1]
+        assert raised[0].layer == 1
+
+
+class TestImbalanceAndCapacity:
+    def test_gini_ceiling(self):
+        mon = HealthMonitor()
+        raised = mon.observe_routing(0, 0, healthy(load_gini=0.95))
+        kinds = [a.kind for a in raised]
+        assert "imbalance_drift" in kinds
+        alert = next(a for a in raised if a.kind == "imbalance_drift")
+        assert alert.severity == "critical"
+
+    def test_drop_rate_threshold(self):
+        mon = HealthMonitor(HealthConfig(drop_rate_threshold=0.3))
+        assert mon.observe_routing(0, 0, healthy(
+            dropped_fraction=0.29)) == []
+        raised = mon.observe_routing(1, 0, healthy(
+            dropped_fraction=0.5))
+        assert [a.kind for a in raised] == ["drop_rate"]
+        assert raised[0].value == pytest.approx(0.5)
+
+    def test_capacity_overflow(self):
+        mon = HealthMonitor(HealthConfig(overflow_factor=3.0))
+        raised = mon.observe_routing(0, 0, healthy(
+            needed_capacity_factor=4.0))
+        assert [a.kind for a in raised] == ["capacity_overflow"]
+
+    def test_zero_token_step_skipped(self):
+        mon = HealthMonitor()
+        raised = mon.observe_routing(0, 0, healthy(
+            num_tokens=0, routing_entropy=0.0, load_gini=1.0))
+        assert raised == [] and mon.alerts == []
+
+
+class TestDeadExpert:
+    def starved(self, expert=3):
+        # 64 tokens * k=2 / 8 experts = 16 share; floor = 1.6
+        load = [18] * 8
+        load[expert] = 0
+        return healthy(expert_load=tuple(load))
+
+    def test_fires_after_window_consecutive_steps(self):
+        mon = HealthMonitor(HealthConfig(dead_window=4))
+        fired_at = None
+        for step in range(10):
+            for a in mon.observe_routing(step, 0, self.starved()):
+                if a.kind == "dead_expert":
+                    fired_at = (a.step, a.expert)
+        assert fired_at == (3, 3)          # step dead_window-1, once
+        assert sum(a.kind == "dead_expert"
+                   for a in mon.alerts) == 1
+
+    def test_window_resets_on_recovery(self):
+        mon = HealthMonitor(HealthConfig(dead_window=3))
+        mon.observe_routing(0, 0, self.starved())
+        mon.observe_routing(1, 0, self.starved())
+        mon.observe_routing(2, 0, healthy())        # resets the count
+        mon.observe_routing(3, 0, self.starved())
+        mon.observe_routing(4, 0, self.starved())
+        assert all(a.kind != "dead_expert" for a in mon.alerts)
+        raised = mon.observe_routing(5, 0, self.starved())
+        assert [a.kind for a in raised] == ["dead_expert"]
+
+    def test_realerts_after_recovery(self):
+        mon = HealthMonitor(HealthConfig(dead_window=2))
+        for step in range(2):
+            mon.observe_routing(step, 0, self.starved())
+        mon.observe_routing(2, 0, healthy())
+        for step in (3, 4):
+            mon.observe_routing(step, 0, self.starved())
+        assert sum(a.kind == "dead_expert" for a in mon.alerts) == 2
+
+    def test_single_expert_layer_skipped(self):
+        mon = HealthMonitor(HealthConfig(dead_window=1))
+        mon.observe_routing(0, 0, healthy(expert_load=(0,)))
+        assert mon.alerts == []
+
+
+class TestGradSpike:
+    def test_spike_detected_once(self):
+        mon = HealthMonitor(HealthConfig(warmup_steps=4, grad_z=6.0))
+        for step in range(8):
+            assert mon.observe_step(step, grad_norm=1.0 +
+                                    0.01 * (step % 3)) == []
+        raised = mon.observe_step(8, grad_norm=50.0)
+        assert [a.kind for a in raised] == ["grad_spike"]
+        # still elevated -> latched, no repeat
+        assert mon.observe_step(9, grad_norm=60.0) == []
+
+    def test_non_finite_grad_ignored(self):
+        mon = HealthMonitor()
+        assert mon.observe_step(0, grad_norm=float("nan")) == []
+        assert mon.observe_step(1, grad_norm=float("inf")) == []
+        assert mon.observe_step(2, grad_norm=None, loss=1.0) == []
+        assert mon.alerts == []
+
+
+class TestAlertPlumbing:
+    def test_alert_json_round_trip(self):
+        alert = HealthAlert(kind="dead_expert", step=7,
+                            severity="critical", value=0.0,
+                            threshold=1.6, layer=1, expert=3,
+                            message="m")
+        obj = alert.to_json_obj()
+        assert obj["kind"] == "dead_expert" and obj["expert"] == 3
+        assert "expert=3" in alert.describe()
+        assert "[critical]" in alert.describe()
+
+    def test_alerts_land_in_run_stream(self, tmp_path):
+        with recording_run(root=tmp_path, run_id="r",
+                           created_at=1.0):
+            mon = HealthMonitor()
+            mon.observe_routing(5, 0, healthy(load_gini=0.95))
+        events = RunStore(tmp_path).events("r")
+        alerts = [e for e in events if e["kind"] == "alert"]
+        assert len(alerts) == 1
+        assert alerts[0]["step"] == 5
+        assert alerts[0]["data"]["kind"] == "imbalance_drift"
+
+    def test_determinism_same_sequence_same_alerts(self):
+        rng = np.random.default_rng(3)
+        seq = []
+        for step in range(30):
+            e = 0.9 + 0.01 * rng.standard_normal()
+            if step >= 20:
+                e = 0.2
+            seq.append(healthy(routing_entropy=e))
+        runs = []
+        for _ in range(2):
+            mon = HealthMonitor(HealthConfig(warmup_steps=4))
+            for step, stats in enumerate(seq):
+                mon.observe_routing(step, 0, stats)
+            runs.append([(a.kind, a.step) for a in mon.alerts])
+        assert runs[0] == runs[1]
+        assert ("entropy_drift", 20) in runs[0]

@@ -7,6 +7,7 @@ from repro.moe.gating import softmax, top_k_routing
 from repro.moe.metrics import (
     RoutingStats,
     expert_load,
+    load_gini,
     load_imbalance,
     routing_entropy,
     routing_stats,
@@ -104,6 +105,48 @@ class TestRoutingStats:
             routing_stats(crit, gate_probs=np.zeros((3, 3)))
 
 
+class TestLoadGini:
+    def test_uniform_load_is_zero(self):
+        assert load_gini(np.array([8, 8, 8, 8])) == pytest.approx(0.0)
+
+    def test_collapsed_load_approaches_one(self):
+        # One expert takes everything: Gini = 1 - 1/E.
+        assert load_gini(np.array([32, 0, 0, 0])) == pytest.approx(0.75)
+
+    def test_monotone_in_skew(self):
+        mild = load_gini(np.array([10, 8, 8, 6]))
+        harsh = load_gini(np.array([20, 8, 4, 0]))
+        assert 0.0 < mild < harsh < 1.0
+
+    def test_degenerate_inputs_defined(self):
+        with np.errstate(all="raise"):
+            assert load_gini(np.array([])) == 0.0
+            assert load_gini(np.array([5])) == 0.0      # single expert
+            assert load_gini(np.zeros(8)) == 0.0        # zero tokens
+
+    def test_scale_invariant(self):
+        load = np.array([3, 1, 5, 7], dtype=float)
+        assert load_gini(load) == pytest.approx(load_gini(load * 100))
+
+    def test_stats_carry_health_fields(self):
+        crit = collapsed_crit()
+        stats = routing_stats(crit)
+        assert stats.expert_load == (32, 0, 0, 0)
+        assert stats.load_gini == pytest.approx(0.75)
+        # top-1, all tokens on one of 4 experts: needs f = E = 4
+        assert stats.needed_capacity_factor == pytest.approx(4.0)
+
+    def test_single_expert_entropy_is_uniform(self):
+        # One expert *is* uniform usage; the 0/log(1) division must
+        # never be evaluated.
+        probs = np.ones((16, 1))
+        crit = top_k_routing(probs, 1, capacity=16)
+        with np.errstate(all="raise"):
+            assert routing_entropy(crit) == 1.0
+            stats = routing_stats(crit)
+        assert stats.load_gini == 0.0
+
+
 class TestEmptyBatchStats:
     def _empty_crit(self, e=4, k=2):
         return top_k_routing(np.zeros((0, e)), top_k=k, capacity=4)
@@ -132,3 +175,10 @@ class TestEmptyBatchStats:
     def test_expert_load_zero_tokens(self):
         load = expert_load(self._empty_crit(e=4))
         np.testing.assert_array_equal(load, np.zeros(4, dtype=load.dtype))
+
+    def test_gini_and_capacity_factor_zero_tokens(self):
+        with np.errstate(all="raise"):
+            stats = routing_stats(self._empty_crit())
+        assert stats.load_gini == 0.0
+        assert stats.needed_capacity_factor == 0.0  # documented: empty
+        assert stats.expert_load == (0, 0, 0, 0)

@@ -54,7 +54,12 @@ class TestRegistry:
     def test_empty_histogram_defined(self):
         h = MetricsRegistry().histogram("h")
         assert h.mean == 0.0
-        assert h.summary()["min"] == 0.0
+        s = h.summary()
+        assert s["min"] == 0.0
+        assert s["empty"] is True           # zero observations flagged
+        assert s["p50"] == 0.0 and s["p99"] == 0.0
+        h.observe(2.0)
+        assert h.summary()["empty"] is False
 
     def test_histogram_quantiles_exact_under_reservoir_size(self):
         from repro.obs.registry import RESERVOIR_SIZE
