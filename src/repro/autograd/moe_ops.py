@@ -19,17 +19,29 @@ from repro.moe.encode import (
     fast_encode_backward,
 )
 from repro.moe.gating import RoutingCriteria
+from repro.obs import profiler as _prof
 
 __all__ = ["moe_dispatch", "moe_combine", "batched_expert_ffn_input"]
 
 
 def moe_dispatch(x: Tensor, crit: RoutingCriteria) -> Tensor:
     """Scatter tokens into ``(E, dC, M)`` capacity cells (fast_encode)."""
+    p = _prof.active()
+    t0 = p.clock() if p is not None else 0.0
     out_data = fast_encode(x.data, crit)
 
     def backward(grad: np.ndarray) -> None:
         x._accumulate(fast_encode_backward(grad, crit))
-    return Tensor.from_op(out_data, (x,), backward)
+    out = Tensor.from_op(out_data, (x,), backward)
+    if p is not None:
+        routes = _prof.routes_of(crit)
+        cells = crit.num_experts * crit.capacity
+        m = x.data.shape[1]
+        p.tape_op(out, "moe_dispatch", t0,
+                  _prof.sparse_encode_cost(routes, cells, m),
+                  _prof.sparse_encode_backward_cost(
+                      routes, crit.num_tokens, m))
+    return out
 
 
 def moe_combine(expert_output: Tensor, gates: Tensor,
@@ -43,6 +55,8 @@ def moe_combine(expert_output: Tensor, gates: Tensor,
         raise ValueError(
             f"gates shape {gates.shape} != crit gates "
             f"{crit.gates.shape}")
+    p = _prof.active()
+    t0 = p.clock() if p is not None else 0.0
     live = RoutingCriteria(idxs=crit.idxs, locations=crit.locations,
                            gates=np.where(crit.valid, gates.data, 0.0),
                            capacity=crit.capacity,
@@ -54,15 +68,31 @@ def moe_combine(expert_output: Tensor, gates: Tensor,
                                                   expert_output.data, live)
         expert_output._accumulate(grad_z)
         gates._accumulate(np.where(crit.valid, grad_gates, 0.0))
-    return Tensor.from_op(out_data, (expert_output, gates), backward)
+    out = Tensor.from_op(out_data, (expert_output, gates), backward)
+    if p is not None:
+        routes = _prof.routes_of(live)
+        cells = crit.num_experts * crit.capacity
+        m = expert_output.data.shape[-1]
+        p.tape_op(out, "moe_combine", t0,
+                  _prof.sparse_decode_cost(routes, crit.num_tokens, m),
+                  _prof.sparse_decode_backward_cost(
+                      routes, cells, crit.gates.size, m))
+    return out
 
 
 def batched_expert_ffn_input(dispatched: Tensor, w: Tensor) -> Tensor:
     """Differentiable ``einsum("ecm,emv->ecv")`` per-expert GEMM."""
+    p = _prof.active()
+    t0 = p.clock() if p is not None else 0.0
     out_data = np.einsum("ecm,emv->ecv", dispatched.data, w.data)
 
     def backward(grad: np.ndarray) -> None:
         dispatched._accumulate(
             np.einsum("ecv,emv->ecm", grad, w.data))
         w._accumulate(np.einsum("ecm,ecv->emv", dispatched.data, grad))
-    return Tensor.from_op(out_data, (dispatched, w), backward)
+    out = Tensor.from_op(out_data, (dispatched, w), backward)
+    if p is not None:
+        fwd, bwd = _prof.matmul_cost(dispatched.data.shape, w.data.shape,
+                                     out_data.shape)
+        p.tape_op(out, "expert_gemm", t0, fwd, bwd)
+    return out

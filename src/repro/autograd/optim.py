@@ -54,7 +54,7 @@ class SGD:
 
     def zero_grad(self) -> None:
         for p in self.params:
-            p.grad = None
+            p.zero_grad()
 
 
 class Adam:
@@ -93,4 +93,4 @@ class Adam:
 
     def zero_grad(self) -> None:
         for p in self.params:
-            p.grad = None
+            p.zero_grad()

@@ -7,6 +7,11 @@ order.  Broadcasting is supported by summing gradients over broadcast
 axes.  The MoE-specific dispatch/combine ops live in
 :mod:`repro.autograd.moe_ops` and reuse the verified sparse kernels of
 :mod:`repro.moe.encode`.
+
+Every op is instrumented for :mod:`repro.obs.profiler`: when a
+profiler is active, op outputs carry closed-form FLOP/byte costs and
+land in the live-set allocation ledger; when it is not (the default),
+each op pays a single module-global ``is None`` check.
 """
 
 from __future__ import annotations
@@ -14,6 +19,8 @@ from __future__ import annotations
 from typing import Callable, Iterable
 
 import numpy as np
+
+from repro.obs import profiler as _prof
 
 __all__ = ["Tensor", "as_tensor", "stack_gradients"]
 
@@ -36,7 +43,7 @@ class Tensor:
     """A NumPy array with an attached gradient tape node."""
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
-                 "name")
+                 "name", "_op", "__weakref__")
 
     def __init__(self, data, requires_grad: bool = False,
                  name: str = "") -> None:
@@ -46,6 +53,9 @@ class Tensor:
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
         self.name = name
+        # Profiler metadata: (op name, MoE stage, backward OpCost),
+        # set by Profiler.tape_op; None when unprofiled.
+        self._op: tuple | None = None
 
     # -- construction ---------------------------------------------------
 
@@ -82,6 +92,9 @@ class Tensor:
         grad = _unbroadcast(np.asarray(grad, dtype=np.float64),
                             self.data.shape)
         self.grad = grad if self.grad is None else self.grad + grad
+        p = _prof.active()
+        if p is not None:
+            p.track_grad(self)
 
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Backpropagate from this tensor (defaults to scalar seed 1)."""
@@ -110,12 +123,24 @@ class Tensor:
                         stack.append((parent, False))
 
         visit(self)
-        self._accumulate(grad)
-        for node in reversed(topo):
-            if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
+        p = _prof.active()
+        if p is None:
+            self._accumulate(grad)
+            for node in reversed(topo):
+                if node._backward is not None and node.grad is not None:
+                    node._backward(node.grad)
+        else:
+            with p.backward_pass():
+                self._accumulate(grad)
+                for node in reversed(topo):
+                    if node._backward is not None and node.grad is not None:
+                        p.run_backward(node)
 
     def zero_grad(self) -> None:
+        if self.grad is not None:
+            p = _prof.active()
+            if p is not None:
+                p.release_grad(self)
         self.grad = None
 
     def detach(self) -> "Tensor":
@@ -125,19 +150,33 @@ class Tensor:
 
     def __add__(self, other) -> "Tensor":
         other = as_tensor(other)
+        p = _prof.active()
+        t0 = p.clock() if p is not None else 0.0
         out_data = self.data + other.data
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad)
             other._accumulate(grad)
-        return Tensor.from_op(out_data, (self, other), backward)
+        out = Tensor.from_op(out_data, (self, other), backward)
+        if p is not None:
+            fwd, bwd = _prof.elementwise_cost("add", out_data.size, 2)
+            p.tape_op(out, "add", t0, fwd, bwd)
+        return out
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
+        p = _prof.active()
+        t0 = p.clock() if p is not None else 0.0
+        out_data = -self.data
+
         def backward(grad: np.ndarray) -> None:
             self._accumulate(-grad)
-        return Tensor.from_op(-self.data, (self,), backward)
+        out = Tensor.from_op(out_data, (self,), backward)
+        if p is not None:
+            fwd, bwd = _prof.elementwise_cost("neg", out_data.size, 1)
+            p.tape_op(out, "neg", t0, fwd, bwd)
+        return out
 
     def __sub__(self, other) -> "Tensor":
         return self + (-as_tensor(other))
@@ -147,60 +186,97 @@ class Tensor:
 
     def __mul__(self, other) -> "Tensor":
         other = as_tensor(other)
+        p = _prof.active()
+        t0 = p.clock() if p is not None else 0.0
         out_data = self.data * other.data
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * other.data)
             other._accumulate(grad * self.data)
-        return Tensor.from_op(out_data, (self, other), backward)
+        out = Tensor.from_op(out_data, (self, other), backward)
+        if p is not None:
+            fwd, bwd = _prof.elementwise_cost("mul", out_data.size, 2)
+            p.tape_op(out, "mul", t0, fwd, bwd)
+        return out
 
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
         other = as_tensor(other)
+        p = _prof.active()
+        t0 = p.clock() if p is not None else 0.0
         out_data = self.data / other.data
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad / other.data)
             other._accumulate(-grad * self.data / other.data ** 2)
-        return Tensor.from_op(out_data, (self, other), backward)
+        out = Tensor.from_op(out_data, (self, other), backward)
+        if p is not None:
+            fwd, bwd = _prof.elementwise_cost("div", out_data.size, 2)
+            p.tape_op(out, "div", t0, fwd, bwd)
+        return out
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
             raise TypeError("only scalar exponents are supported")
+        p = _prof.active()
+        t0 = p.clock() if p is not None else 0.0
         out_data = self.data ** exponent
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * exponent * self.data ** (exponent - 1))
-        return Tensor.from_op(out_data, (self,), backward)
+        out = Tensor.from_op(out_data, (self,), backward)
+        if p is not None:
+            fwd, bwd = _prof.elementwise_cost("pow", out_data.size, 1)
+            p.tape_op(out, "pow", t0, fwd, bwd)
+        return out
 
     def __matmul__(self, other) -> "Tensor":
         other = as_tensor(other)
+        p = _prof.active()
+        t0 = p.clock() if p is not None else 0.0
         out_data = self.data @ other.data
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad @ np.swapaxes(other.data, -1, -2))
             other._accumulate(np.swapaxes(self.data, -1, -2) @ grad)
-        return Tensor.from_op(out_data, (self, other), backward)
+        out = Tensor.from_op(out_data, (self, other), backward)
+        if p is not None:
+            fwd, bwd = _prof.matmul_cost(self.data.shape, other.data.shape,
+                                         out_data.shape)
+            p.tape_op(out, "matmul", t0, fwd, bwd)
+        return out
 
     # -- shape ops -----------------------------------------------------------
 
     def reshape(self, *shape: int) -> "Tensor":
+        p = _prof.active()
+        t0 = p.clock() if p is not None else 0.0
         out_data = self.data.reshape(*shape)
         original = self.data.shape
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.reshape(original))
-        return Tensor.from_op(out_data, (self,), backward)
+        out = Tensor.from_op(out_data, (self,), backward)
+        if p is not None:
+            # Views: no FLOPs, no data movement; the ledger skips the
+            # output array because its memory belongs to the base.
+            p.tape_op(out, "reshape", t0, _prof.ZERO_COST)
+        return out
 
     def transpose(self, *axes: int) -> "Tensor":
+        p = _prof.active()
+        t0 = p.clock() if p is not None else 0.0
         axes = axes or tuple(reversed(range(self.ndim)))
         inverse = tuple(np.argsort(axes))
         out_data = self.data.transpose(axes)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.transpose(inverse))
-        return Tensor.from_op(out_data, (self,), backward)
+        out = Tensor.from_op(out_data, (self,), backward)
+        if p is not None:
+            p.tape_op(out, "transpose", t0, _prof.ZERO_COST)
+        return out
 
     @property
     def T(self) -> "Tensor":
@@ -210,6 +286,8 @@ class Tensor:
 
     def sum(self, axis: int | tuple[int, ...] | None = None,
             keepdims: bool = False) -> "Tensor":
+        p = _prof.active()
+        t0 = p.clock() if p is not None else 0.0
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
         shape = self.data.shape
 
@@ -220,7 +298,11 @@ class Tensor:
                 for ax in sorted(ax % len(shape) for ax in axes):
                     g = np.expand_dims(g, ax)
             self._accumulate(np.broadcast_to(g, shape))
-        return Tensor.from_op(out_data, (self,), backward)
+        out = Tensor.from_op(out_data, (self,), backward)
+        if p is not None:
+            fwd, bwd = _prof.reduction_cost(self.data.size, out_data.size)
+            p.tape_op(out, "sum", t0, fwd, bwd)
+        return out
 
     def mean(self, axis: int | tuple[int, ...] | None = None,
              keepdims: bool = False) -> "Tensor":

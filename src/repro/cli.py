@@ -14,6 +14,8 @@ Usage::
     python -m repro runs list            # persisted run registry
     python -m repro runs diff A B        # metric deltas between runs
     python -m repro dashboard latest     # static HTML report of a run
+    python -m repro profile step         # op-level FLOP/byte/memory profile
+    python -m repro calibrate --fast     # fit simulator coefficients
 
 Each bench is the same module pytest-benchmark runs; the CLI imports
 its ``run()`` and prints the full table.  Setting ``REPRO_TRACE=path``
@@ -458,6 +460,136 @@ def _cmd_chaos(seed: int, steps: int, num_gpus: int, smoke: bool,
         print(f"[obs] wrote fault/recovery trace events to {trace_path}")
 
 
+def _profile_run_ctx(kind: str, config: dict):
+    """An active run-registry context when ``REPRO_RUNS_DIR`` is set,
+    else a no-op — profiling shouldn't litter run directories unless
+    the registry was asked for."""
+    from contextlib import nullcontext
+
+    from repro.obs.runs import env_runs_root, recording_run
+
+    if env_runs_root() is None:
+        return nullcontext(None)
+    return recording_run(config={"kind": kind, **config}, seed=0)
+
+
+def _cmd_profile(target: str, batch: int, trace_path: str | None,
+                 json_path: str | None) -> None:
+    """Deterministic op-level profile of the seed model
+    (``repro profile step|layer``): per-op FLOPs/bytes/walls, per-stage
+    attribution, and the exact peak-memory ledger."""
+    import json as _json
+
+    import numpy as np
+
+    from repro.autograd.functional import cross_entropy
+    from repro.autograd.tensor import Tensor
+    from repro.bench.report import Metric, emit
+    from repro.obs.profiler import Profiler, profiling
+
+    if target not in ("step", "layer"):
+        raise SystemExit(f"repro profile: unknown target {target!r} "
+                         "(expected 'step' or 'layer')")
+    rng = np.random.default_rng(0)
+    prof = Profiler()
+    with _profile_run_ctx("profile", {"target": target,
+                                      "batch": batch}) as run:
+        if target == "step":
+            from repro.nn.models import MoEClassifier
+            from repro.train.data import ClusteredTokenTask
+
+            task = ClusteredTokenTask(num_clusters=8, input_dim=8,
+                                      num_classes=4, noise=0.4, seed=0)
+            model = MoEClassifier(
+                input_dim=8, model_dim=32, hidden_dim=64, num_classes=4,
+                num_blocks=2, num_experts=8, rng=rng, top_k=2,
+                capacity_factor=1.25)
+            b = task.sample(batch)
+            xb, yb = b.x, b.y
+            with profiling(prof):
+                logits, l_aux = model(Tensor(xb))
+                loss = cross_entropy(logits, yb) + l_aux * 0.01
+                loss.backward()
+                # Drop the graph inside the context so the frees land
+                # in the allocation timeline (else live == peak).
+                del logits, l_aux, loss
+        else:
+            from repro.nn.moe import MoE
+
+            layer = MoE(32, 64, 8, rng, top_k=2, capacity_factor=1.25)
+            x = rng.standard_normal((batch, 32))
+            with profiling(prof):
+                out, l_aux = layer(Tensor(x, requires_grad=True))
+                loss = out.sum() + l_aux
+                loss.backward()
+                del out, l_aux, loss
+
+        summary = prof.summary()
+        print(prof.render())
+        totals = summary["totals"]
+        if run is not None:
+            run.emit("profile", data={
+                "target": target,
+                "totals": totals,
+                "peak_bytes": summary["peak_bytes"],
+                "by_stage": summary["by_stage"],
+                "by_phase": summary["by_phase"],
+                "alloc_timeline": summary["alloc_timeline"]})
+            run.update_summary({
+                "profile.peak_bytes": float(summary["peak_bytes"]),
+                "profile.total_flops": float(totals["flops"]),
+                "profile.ops": float(totals["ops"])})
+        emit(f"profile_{target}",
+             f"Op-level profile of the seed model ({target})",
+             [Metric("peak_bytes", float(summary["peak_bytes"]),
+                     unit="B", kind="model", tolerance=0.10),
+              Metric("total_flops", float(totals["flops"]),
+                     unit="flop", kind="model", tolerance=0.0),
+              Metric("num_ops", float(totals["ops"]), kind="model",
+                     tolerance=0.0),
+              Metric("wall_seconds", float(totals["wall"]), unit="s",
+                     kind="measured")],
+             config={"schema": 1, "target": target, "batch": batch,
+                     "model": "seed-moe-classifier"},
+             verbose=True)
+    if trace_path:
+        from repro.obs.trace import TraceRecorder
+
+        recorder = TraceRecorder()
+        prof.export_trace(recorder)
+        recorder.dump_chrome_trace(trace_path)
+        print(f"[profile] wrote {len(recorder.events)} trace events to "
+              f"{trace_path}")
+    if json_path:
+        Path(json_path).write_text(
+            _json.dumps(summary, indent=1, sort_keys=True) + "\n")
+        print(f"[profile] wrote summary JSON to {json_path}")
+
+
+def _cmd_calibrate(fast: bool, seed: int, json_path: str | None) -> None:
+    """Fit simulator coefficients to measured kernel/collective walls
+    and report prediction fidelity (``repro calibrate``)."""
+    from repro.obs.calibrate import (
+        emit_calibration,
+        report_to_json,
+        run_calibration,
+    )
+
+    report = run_calibration(fast=fast, seed=seed)
+    print(report.render())
+    with _profile_run_ctx("calibrate",
+                          {"profile": report.profile}) as run:
+        if run is not None:
+            run.emit("calibration", data=report.to_json_obj())
+            run.update_summary({
+                "calibration.sim_vs_measured_p95_err":
+                    report.sim_vs_measured_p95_err})
+        emit_calibration(report, verbose=True)
+    if json_path:
+        Path(json_path).write_text(report_to_json(report) + "\n")
+        print(f"[calibrate] wrote full report to {json_path}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -572,6 +704,35 @@ def main(argv: list[str] | None = None) -> int:
     dash_cmd.add_argument("--dir", default=None,
                           help="registry root (default: "
                                "$REPRO_RUNS_DIR or .repro_runs)")
+    profile_cmd = sub.add_parser(
+        "profile",
+        help="op-level FLOP/byte/memory profile of a train step or "
+             "MoE layer")
+    profile_cmd.add_argument("target", nargs="?", default="step",
+                             choices=("step", "layer"),
+                             help="what to profile: a full fwd+bwd "
+                                  "train step (default) or one MoE "
+                                  "layer")
+    profile_cmd.add_argument("--batch", type=int, default=128,
+                             help="tokens in the profiled batch "
+                                  "(default 128)")
+    profile_cmd.add_argument("--trace", default=None,
+                             help="write a Chrome trace (spans + "
+                                  "memory/FLOP counter tracks) here")
+    profile_cmd.add_argument("--json", default=None,
+                             help="write the full profile summary "
+                                  "as JSON here")
+    cal_cmd = sub.add_parser(
+        "calibrate",
+        help="fit simulator alpha-beta/throughput coefficients to "
+             "measured kernel walls and report fidelity")
+    cal_cmd.add_argument("--fast", action="store_true",
+                         help="small sweep (CI smoke; ~seconds)")
+    cal_cmd.add_argument("--seed", type=int, default=0,
+                         help="routing-pattern seed (default 0)")
+    cal_cmd.add_argument("--json", default=None,
+                         help="write the full calibration report "
+                              "as JSON here")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -601,6 +762,10 @@ def main(argv: list[str] | None = None) -> int:
             _cmd_dashboard(args.run, args.out, args.dir)
         except KeyError as exc:
             raise SystemExit(f"repro dashboard: {exc.args[0]}") from exc
+    elif args.command == "profile":
+        _cmd_profile(args.target, args.batch, args.trace, args.json)
+    elif args.command == "calibrate":
+        _cmd_calibrate(args.fast, args.seed, args.json)
     elif args.command == "bench":
         if args.id == "all":
             for short in sorted(discover_benches()):

@@ -190,6 +190,22 @@ class ClusterTopology:
         return replace(self, intra_link=unbounded[0],
                        inter_link=unbounded[1])
 
+    def with_gpu(self, gpu: GpuSpec) -> "ClusterTopology":
+        """Same fabric, different per-GPU compute model (calibration)."""
+        from dataclasses import replace
+        return replace(self, gpu=gpu)
+
+    def with_links(self, intra: LinkSpec,
+                   inter: LinkSpec | None = None) -> "ClusterTopology":
+        """Replace the channel models (calibration fit results).
+
+        With ``inter`` omitted the intra spec is used for both fabrics —
+        the single-machine calibration harness cannot distinguish them.
+        """
+        from dataclasses import replace
+        return replace(self, intra_link=intra,
+                       inter_link=inter if inter is not None else intra)
+
     def with_degraded_inter_link(self, factor: float) -> "ClusterTopology":
         """Inter-node fabric derated to ``factor`` of nominal bandwidth.
 

@@ -26,6 +26,7 @@ from repro.moe.metrics import routing_stats
 from repro.moe.metrics import RoutingStats
 from repro.nn.modules import Linear, Module
 from repro.obs import CAT_MOE, get_observer
+from repro.obs import profiler as _prof
 from repro.obs import span as _span
 from repro.obs.runs import get_run
 
@@ -167,7 +168,7 @@ class MoE(Module):
                   if capacity_factor is not None else self.capacity_policy)
         t = x.shape[0]
 
-        with _span("gate", CAT_MOE):
+        with _span("gate", CAT_MOE), _prof.stage("gate"):
             logits = self._gate_logits(x)
             if self.failed_experts:
                 # Graceful degradation: a large negative logit zeroes
@@ -216,14 +217,14 @@ class MoE(Module):
         if ob is not None:
             ob.record_routing(self.last_routing_stats)
 
-        with _span("encode", CAT_MOE):
+        with _span("encode", CAT_MOE), _prof.stage("dispatch"):
             dispatched = moe_dispatch(x, crit)
-        with _span("expert_ffn", CAT_MOE):
+        with _span("expert_ffn", CAT_MOE), _prof.stage("expert_ffn"):
             hidden = batched_expert_ffn_input(dispatched, self.w1)
             hidden = (gelu(hidden) if self.activation == "gelu"
                       else relu(hidden))
             expert_out = batched_expert_ffn_input(hidden, self.w2)
-        with _span("decode", CAT_MOE):
+        with _span("decode", CAT_MOE), _prof.stage("combine"):
             output = moe_combine(expert_out, selected, crit)
 
         # GShard auxiliary loss: E * sum_e mean_prob(e) * routed_frac(e).

@@ -48,6 +48,7 @@ from repro.obs.trace import (
     CAT_HEALTH,
     CAT_MOE,
     CAT_PIPELINE,
+    CAT_PROF,
     CAT_SIM,
     CAT_TRAIN,
     TraceEvent,
@@ -81,6 +82,7 @@ __all__ = [
     "CAT_FAULT",
     "CAT_CKPT",
     "CAT_HEALTH",
+    "CAT_PROF",
 ]
 
 

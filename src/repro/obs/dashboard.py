@@ -8,9 +8,11 @@ assets — pure stdlib, viewable from ``file://`` on an air-gapped box.
 Sections: run identity header, stat tiles, loss / gradient-norm
 sparklines with health-alert markers, per-layer routing panels
 (entropy + load-Gini bands, per-expert utilization heatmap over
-steps), the fault / recovery / strategy / checkpoint timeline, the
-alerts table, and a collapsible step table so every plotted number is
-also readable as text.
+steps), profiler panels when the run carries a ``profile`` event
+(live-bytes allocation timeline, per-stage FLOP-share bars, peak-
+memory tile), the fault / recovery / strategy / checkpoint timeline,
+the alerts table, and a collapsible step table so every plotted
+number is also readable as text.
 
 Color discipline follows the repo's viz conventions: one categorical
 series hue, a single-hue sequential blue ramp for the heatmap, status
@@ -130,6 +132,16 @@ def _fmt(value: float | int | None) -> str:
     return f"{value:.4g}".rstrip("0").rstrip(".")
 
 
+def _fmt_bytes(nbytes: float) -> str:
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024 or unit == "GiB":
+            return (f"{value:.0f} {unit}" if unit == "B"
+                    else f"{value:.1f} {unit}")
+        value /= 1024
+    return f"{value:.1f} GiB"
+
+
 class RunSeries:
     """Event stream reshaped into plot-ready series."""
 
@@ -145,6 +157,8 @@ class RunSeries:
         self.alerts: list[dict] = []
         self.timeline: list[dict] = []
         self.evals: list[dict] = []
+        # Latest op-level profiler summary ("profile" event, last wins).
+        self.profile: dict | None = None
 
     @property
     def layers(self) -> list[int]:
@@ -185,6 +199,8 @@ def build_series(events: Iterable[Mapping]) -> RunSeries:
             series.timeline.append(entry)
         elif kind == "eval":
             series.evals.append(dict(data))
+        elif kind == "profile":
+            series.profile = dict(data)
     return series
 
 
@@ -202,7 +218,8 @@ def _scale(vmin: float, vmax: float, lo: float,
 
 def _line_chart(steps: Sequence[int], values: Sequence[float],
                 markers: Sequence[tuple[int, str, str]] = (),
-                width: int = 640, height: int = 150) -> str:
+                width: int = 640, height: int = 150,
+                x_label: str = "step") -> str:
     """One-series sparkline; ``markers`` are ``(step, severity,
     label)`` alert flags drawn as status-colored stems."""
     pts = [(s, v) for s, v in zip(steps, values) if v == v]
@@ -232,7 +249,7 @@ def _line_chart(steps: Sequence[int], values: Sequence[float],
     for x, anchor in ((min(xs), "start"), (max(xs), "end")):
         out.append(f'<text x="{sx(x):.1f}" y="{height - 6}" '
                    f'text-anchor="{anchor}" font-size="10" '
-                   f'fill="var(--muted)">step {x}</text>')
+                   f'fill="var(--muted)">{_esc(x_label)} {x}</text>')
     # alert stems behind the series line
     for mstep, severity, label in markers:
         token, glyph = _SEVERITY.get(severity, ("warning", "!"))
@@ -254,7 +271,8 @@ def _line_chart(steps: Sequence[int], values: Sequence[float],
             out.append(
                 f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="5" '
                 f'fill="transparent" pointer-events="all">'
-                f'<title>step {x}: {_esc(_fmt(y))}</title></circle>')
+                f'<title>{_esc(x_label)} {x}: {_esc(_fmt(y))}'
+                f'</title></circle>')
     out.append("</svg>")
     return "".join(out)
 
@@ -295,6 +313,39 @@ def _heatmap(steps: Sequence[int],
             f'<text x="{pad_l + i * (cell_w + gap):.1f}" '
             f'y="{height - 6}" text-anchor="{anchor}" font-size="10" '
             f'fill="var(--muted)">step {steps[i]}</text>')
+    out.append("</svg>")
+    return "".join(out)
+
+
+def _share_bars(items: Sequence[tuple[str, float]],
+                width: int = 640) -> str:
+    """Horizontal share bars (e.g. per-stage FLOP fraction): label,
+    single-hue bar scaled to the largest entry, percent as text so the
+    number survives without the ink."""
+    rows = [(label, max(0.0, float(v))) for label, v in items]
+    total = sum(v for _, v in rows)
+    if not rows or total <= 0:
+        return '<p class="empty">no profiled work recorded</p>'
+    rows.sort(key=lambda kv: -kv[1])
+    peak = rows[0][1]
+    pad_l, bar_max, row_h, gap = 110, width - 110 - 70, 18, 6
+    height = len(rows) * (row_h + gap)
+    out = [f'<svg viewBox="0 0 {width} {height}" width="100%" '
+           f'role="img">']
+    for i, (label, value) in enumerate(rows):
+        y = i * (row_h + gap)
+        share = value / total
+        bar = bar_max * (value / peak)
+        out.append(
+            f'<text x="{pad_l - 8}" y="{y + row_h - 5}" '
+            f'text-anchor="end" font-size="11" fill="var(--ink-2)">'
+            f'{_esc(label)}</text>'
+            f'<rect x="{pad_l}" y="{y}" width="{bar:.1f}" '
+            f'height="{row_h}" rx="2" fill="var(--series-1)">'
+            f'<title>{_esc(label)}: {_esc(_fmt(value))} '
+            f'({share:.1%})</title></rect>'
+            f'<text x="{pad_l + bar + 6:.1f}" y="{y + row_h - 5}" '
+            f'font-size="11" fill="var(--muted)">{share:.1%}</text>')
     out.append("</svg>")
     return "".join(out)
 
@@ -430,6 +481,32 @@ def render_dashboard(store: RunStore, token: str = "latest") -> str:
                              _line_chart(series.steps,
                                          series.grad_norm,
                                          markers=step_markers)))
+
+    if series.profile is not None:
+        prof = series.profile
+        totals = prof.get("totals") or {}
+        if prof.get("peak_bytes") is not None:
+            tiles.append(_tile(
+                "peak memory", _fmt_bytes(prof["peak_bytes"]),
+                note="profiled"))
+        if totals.get("flops"):
+            tiles.append(_tile("profiled flops",
+                               _fmt(float(totals["flops"]))))
+        timeline_rows = prof.get("alloc_timeline") or []
+        if timeline_rows:
+            panels.append(_panel(
+                "profiler · live tensor bytes over allocation events "
+                "(fwd+bwd)",
+                _line_chart([int(r[0]) for r in timeline_rows],
+                            [float(r[1]) for r in timeline_rows],
+                            x_label="alloc")))
+        by_stage = prof.get("by_stage") or {}
+        shares = [(stage, row.get("flops", 0.0))
+                  for stage, row in by_stage.items()]
+        if any(v > 0 for _, v in shares):
+            panels.append(_panel(
+                "profiler · FLOP share by MoE stage",
+                _share_bars(shares)))
 
     for layer in series.layers:
         lmarkers = [(a.get("step", 0), a.get("severity", "warn"),

@@ -1,0 +1,736 @@
+"""Deterministic op-level profiler for the functional substrate.
+
+The measured half of the measured-vs-modeled loop (see
+:mod:`repro.obs.calibrate` for the other half).  A :class:`Profiler`
+threads through the autograd engine (:mod:`repro.autograd.tensor`,
+``functional``, ``moe_ops``) and records, per backward-graph op:
+
+* **closed-form FLOPs and bytes read/written** — analytic counts from
+  the cost helpers at the bottom of this module, the same formulas the
+  reference tests assert against (``2*m*n*k`` for GEMMs, ``O(T*k*M)``
+  for the sparse encode/decode versus the dense ``O(T*E*C*M)`` path);
+* **arithmetic intensity** — FLOPs per byte moved, derived;
+* **wall time** — measured around the op's forward compute and, for
+  the backward pass, around each tape node's ``_backward`` closure;
+* a **live-set allocation ledger** — every op-output array and every
+  gradient array is tracked from creation to release (CPython
+  refcounting makes frees deterministic, observed via
+  ``weakref.finalize``), yielding *exact* peak bytes and an allocation
+  timeline attributed to forward/backward phase and MoE stage
+  (gate / dispatch / expert_ffn / combine).
+
+Like the :class:`~repro.obs.Observer`, the profiler is **off by
+default and zero-cost when off**: instrumented call sites do one
+module-global ``is None`` check.  Enable around a region::
+
+    from repro.obs import profiler
+
+    with profiler.profiling() as prof:
+        loss = model(...)[0]
+        loss.backward()
+    print(prof.render())
+    summary = prof.summary()          # JSON-serializable
+
+FLOP conventions (documented so the closed-form counts are
+reproducible): one add/sub/mul/compare = 1 FLOP, one divide = 4 FLOPs,
+one transcendental (exp/log/tanh/sqrt) = 6 FLOPs.  Bytes assume the
+substrate's float64 (:data:`ITEMSIZE` = 8).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+import weakref
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.obs.trace import CAT_PROF, TraceRecorder
+
+__all__ = [
+    "ITEMSIZE",
+    "PHASE_FORWARD",
+    "PHASE_BACKWARD",
+    "STAGE_OTHER",
+    "MOE_STAGES",
+    "OpCost",
+    "ZERO_COST",
+    "OpRecord",
+    "AllocationEvent",
+    "AllocationLedger",
+    "Profiler",
+    "active",
+    "get_profiler",
+    "set_profiler",
+    "profiling",
+    "stage",
+    "gemm_flops",
+    "matmul_cost",
+    "elementwise_cost",
+    "reduction_cost",
+    "routes_of",
+    "sparse_encode_cost",
+    "sparse_encode_backward_cost",
+    "sparse_decode_cost",
+    "sparse_decode_backward_cost",
+    "dense_encode_flops",
+]
+
+#: Bytes per element — the functional substrate computes in float64.
+ITEMSIZE = 8
+
+PHASE_FORWARD = "forward"
+PHASE_BACKWARD = "backward"
+
+#: Stage attributed to ops outside any MoE stage context.
+STAGE_OTHER = "other"
+
+#: The paper's Figure 23 cost decomposition, as profiler stages.
+MOE_STAGES = ("gate", "dispatch", "expert_ffn", "combine")
+
+
+# ----------------------------------------------------------------------
+# Records
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class OpCost:
+    """Closed-form cost of one op: FLOPs plus bytes moved."""
+
+    flops: float = 0.0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+
+    @property
+    def bytes_total(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte moved (0 when no bytes move)."""
+        total = self.bytes_total
+        return self.flops / total if total else 0.0
+
+
+ZERO_COST = OpCost()
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One profiled op execution (forward or backward)."""
+
+    seq: int
+    name: str
+    phase: str        # PHASE_FORWARD | PHASE_BACKWARD
+    stage: str        # MoE stage, or STAGE_OTHER
+    ts: float         # seconds on the profiler clock
+    wall: float       # measured duration in seconds
+    cost: OpCost
+
+
+@dataclass(frozen=True)
+class AllocationEvent:
+    """One live-set transition: ``delta`` bytes allocated or freed."""
+
+    seq: int
+    ts: float
+    delta: int        # positive = alloc, negative = free
+    live: int         # live bytes *after* this event
+    phase: str
+    stage: str
+    tag: str          # "data" (op output) or "grad"
+
+
+class AllocationLedger:
+    """Exact live-set accounting over tracked arrays.
+
+    Arrays are keyed by ``id()`` with a reference count so an array
+    shared between tensors (a pass-through gradient, for instance) is
+    counted once.  The accounting reference count never exceeds the
+    real CPython reference count — every retain corresponds to a live
+    ``Tensor.data`` / ``Tensor.grad`` reference — so a tracked id can
+    never be recycled while its entry is open.
+
+    After :meth:`close` (the profiling context exited), late releases
+    from ``weakref.finalize`` still clear their entries but no longer
+    append timeline events.
+    """
+
+    def __init__(self, max_events: int = 100_000) -> None:
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = max_events
+        self.live_bytes = 0
+        self.peak_bytes = 0
+        self.events: list[AllocationEvent] = []
+        self.dropped = 0
+        self.closed = False
+        self._seq = 0
+        # array id -> [nbytes, refcount]
+        self._open: dict[int, list[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def _record(self, ts: float, delta: int, phase: str, stage: str,
+                tag: str) -> None:
+        self.live_bytes += delta
+        if self.live_bytes > self.peak_bytes:
+            self.peak_bytes = self.live_bytes
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(AllocationEvent(
+            seq=self._seq, ts=ts, delta=delta, live=self.live_bytes,
+            phase=phase, stage=stage, tag=tag))
+        self._seq += 1
+
+    def retain(self, key: int, nbytes: int, ts: float, phase: str,
+               stage: str, tag: str) -> None:
+        """Add one accounting reference to array ``key``.
+
+        The first reference records the allocation; further ones only
+        bump the refcount (shared arrays are one allocation).
+        """
+        entry = self._open.get(key)
+        if entry is not None:
+            entry[1] += 1
+            return
+        self._open[key] = [nbytes, 1]
+        if not self.closed:
+            self._record(ts, nbytes, phase, stage, tag)
+
+    def release(self, key: int, ts: float, phase: str, stage: str,
+                tag: str) -> None:
+        """Drop one accounting reference; frees at refcount zero.
+
+        Tolerant of unknown keys (double finalizers, arrays tracked
+        before the ledger attached).
+        """
+        entry = self._open.get(key)
+        if entry is None:
+            return
+        if entry[1] > 1:
+            entry[1] -= 1
+            return
+        del self._open[key]
+        if not self.closed:
+            self._record(ts, -entry[0], phase, stage, tag)
+
+    def close(self) -> None:
+        """Stop recording timeline events (late frees only clean up)."""
+        self.closed = True
+
+    def timeline(self, max_points: int = 240) -> list[list]:
+        """Downsampled ``[seq, live, phase, stage]`` rows.
+
+        Always keeps the first, last and peak events so the plotted
+        envelope never understates the true peak.
+        """
+        events = self.events
+        if not events:
+            return []
+        keep: set[int] = {0, len(events) - 1}
+        peak_i = max(range(len(events)), key=lambda i: events[i].live)
+        keep.add(peak_i)
+        if len(events) > max_points:
+            step = len(events) / max_points
+            keep.update(int(i * step) for i in range(max_points))
+        else:
+            keep.update(range(len(events)))
+        return [[events[i].seq, events[i].live, events[i].phase,
+                 events[i].stage] for i in sorted(keep)]
+
+
+# ----------------------------------------------------------------------
+# Profiler
+# ----------------------------------------------------------------------
+
+class _StageCtx:
+    """Context manager pushing one MoE stage onto the profiler."""
+
+    __slots__ = ("_prof", "_name")
+
+    def __init__(self, prof: "Profiler", name: str) -> None:
+        self._prof = prof
+        self._name = name
+
+    def __enter__(self) -> "_StageCtx":
+        self._prof._stages.append(self._name)
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._prof._stages.pop()
+        return False
+
+
+class _NullCtx:
+    """Shared no-op context manager returned when profiling is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullCtx":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_CTX = _NullCtx()
+
+
+class Profiler:
+    """Op-level recorder: per-op costs, wall times, allocation ledger.
+
+    ``clock`` defaults to :func:`time.perf_counter`, re-based to the
+    profiler's creation so timelines start near zero.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter,
+                 max_records: int = 200_000,
+                 max_alloc_events: int = 100_000) -> None:
+        if max_records < 1:
+            raise ValueError(f"max_records must be >= 1, got {max_records}")
+        self._clock = clock
+        self._t0 = clock()
+        self.max_records = max_records
+        self.records: list[OpRecord] = []
+        self.records_dropped = 0
+        self.ledger = AllocationLedger(max_events=max_alloc_events)
+        self._stages: list[str] = []
+        self._phase = PHASE_FORWARD
+        self._seq = 0
+        # tensor id -> tracked grad array id (see track_grad)
+        self._grad_of: dict[int, int] = {}
+
+    # -- clock ---------------------------------------------------------
+
+    def clock(self) -> float:
+        """Seconds on the profiler timeline (0 at creation)."""
+        return self._clock() - self._t0
+
+    # -- phase / stage contexts ----------------------------------------
+
+    @property
+    def phase(self) -> str:
+        return self._phase
+
+    @property
+    def current_stage(self) -> str:
+        return self._stages[-1] if self._stages else STAGE_OTHER
+
+    def stage(self, name: str) -> _StageCtx:
+        """Attribute ops run inside the context to MoE stage ``name``."""
+        return _StageCtx(self, name)
+
+    @contextlib.contextmanager
+    def backward_pass(self):
+        """Attribute ops run inside the context to the backward phase."""
+        previous = self._phase
+        self._phase = PHASE_BACKWARD
+        try:
+            yield self
+        finally:
+            self._phase = previous
+
+    # -- recording -----------------------------------------------------
+
+    def _append(self, name: str, phase: str, stage: str, ts: float,
+                wall: float, cost: OpCost) -> None:
+        if len(self.records) >= self.max_records:
+            self.records_dropped += 1
+            return
+        self.records.append(OpRecord(
+            seq=self._seq, name=name, phase=phase, stage=stage, ts=ts,
+            wall=wall, cost=cost))
+        self._seq += 1
+
+    def tape_op(self, out, name: str, t0: float, cost: OpCost,
+                backward_cost: OpCost | None = None) -> None:
+        """Record a completed forward op whose output tensor is ``out``.
+
+        Measures wall time as ``clock() - t0``, tracks ``out.data`` in
+        the allocation ledger (views are skipped — their memory belongs
+        to the base array), registers a deterministic-release finalizer,
+        and stashes ``(name, stage, backward_cost)`` on the tensor so
+        the backward pass can attribute its cost without re-deriving
+        shapes.
+        """
+        now = self.clock()
+        stage_name = self.current_stage
+        self._append(name, self._phase, stage_name, t0, now - t0, cost)
+        data = out.data
+        if data.base is None and data.nbytes:
+            key = id(data)
+            self.ledger.retain(key, data.nbytes, now, self._phase,
+                               stage_name, "data")
+            weakref.finalize(out, self._release_data, key)
+        out._op = (name, stage_name,
+                   backward_cost if backward_cost is not None else ZERO_COST)
+
+    def _release_data(self, key: int) -> None:
+        self.ledger.release(key, self.clock(), self._phase,
+                            self.current_stage, "data")
+
+    # -- gradient memory ----------------------------------------------
+
+    def track_grad(self, tensor) -> None:
+        """Track a freshly materialized ``tensor.grad`` array.
+
+        Called from ``Tensor._accumulate`` on the None -> array
+        transition.  View gradients retain their base array (the actual
+        memory owner) so pass-through gradients shared between tensors
+        are counted exactly once.
+        """
+        arr = tensor.grad
+        if arr is None or not arr.nbytes:
+            return
+        target = arr if arr.base is None else arr.base
+        tid = id(tensor)
+        key = id(target)
+        previous = self._grad_of.get(tid)
+        if previous == key:
+            return
+        now = self.clock()
+        meta = tensor._op
+        stage_name = meta[1] if meta is not None else self.current_stage
+        if previous is not None:
+            self.ledger.release(previous, now, self._phase, stage_name,
+                                "grad")
+        self._grad_of[tid] = key
+        self.ledger.retain(key, target.nbytes, now, self._phase,
+                           stage_name, "grad")
+        weakref.finalize(tensor, self._release_grad_for, tid)
+
+    def release_grad(self, tensor) -> None:
+        """Release the tracked gradient of ``tensor`` (zero_grad)."""
+        self._release_grad_for(id(tensor))
+
+    def _release_grad_for(self, tid: int) -> None:
+        key = self._grad_of.pop(tid, None)
+        if key is not None:
+            self.ledger.release(key, self.clock(), self._phase,
+                                self.current_stage, "grad")
+
+    # -- backward execution -------------------------------------------
+
+    def run_backward(self, node) -> None:
+        """Execute and time one tape node's backward closure."""
+        meta = node._op
+        if meta is not None:
+            name, stage_name, cost = meta
+        else:
+            name, stage_name, cost = "op", STAGE_OTHER, ZERO_COST
+        t0 = self.clock()
+        node._backward(node.grad)
+        self._append(name, PHASE_BACKWARD, stage_name, t0,
+                     self.clock() - t0, cost)
+
+    # -- aggregation ---------------------------------------------------
+
+    @staticmethod
+    def _fold(records: list[OpRecord],
+              key: Callable[[OpRecord], str]) -> dict[str, dict[str, float]]:
+        out: dict[str, dict[str, float]] = {}
+        for rec in records:
+            bucket = out.get(key(rec))
+            if bucket is None:
+                bucket = out[key(rec)] = {
+                    "count": 0, "flops": 0.0, "bytes_read": 0.0,
+                    "bytes_written": 0.0, "wall": 0.0}
+            bucket["count"] += 1
+            bucket["flops"] += rec.cost.flops
+            bucket["bytes_read"] += rec.cost.bytes_read
+            bucket["bytes_written"] += rec.cost.bytes_written
+            bucket["wall"] += rec.wall
+        return out
+
+    def totals(self) -> dict[str, float]:
+        flops = sum(r.cost.flops for r in self.records)
+        br = sum(r.cost.bytes_read for r in self.records)
+        bw = sum(r.cost.bytes_written for r in self.records)
+        moved = br + bw
+        return {
+            "ops": len(self.records),
+            "flops": flops,
+            "bytes_read": br,
+            "bytes_written": bw,
+            "wall": sum(r.wall for r in self.records),
+            "arithmetic_intensity": flops / moved if moved else 0.0,
+        }
+
+    def by_op(self) -> dict[str, dict[str, float]]:
+        return self._fold(self.records, lambda r: r.name)
+
+    def by_stage(self) -> dict[str, dict[str, float]]:
+        return self._fold(self.records, lambda r: r.stage)
+
+    def by_phase(self) -> dict[str, dict[str, float]]:
+        return self._fold(self.records, lambda r: r.phase)
+
+    def op_walls(self, name: str,
+                 phase: str = PHASE_FORWARD) -> list[float]:
+        """Wall times of every recorded ``name`` op in ``phase``.
+
+        The calibration sweep uses this to pull per-kernel measurements
+        out of a profiled run.
+        """
+        return [r.wall for r in self.records
+                if r.name == name and r.phase == phase]
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-serializable profile dump (the run-registry payload)."""
+        return {
+            "schema_version": 1,
+            "totals": self.totals(),
+            "by_op": self.by_op(),
+            "by_stage": self.by_stage(),
+            "by_phase": self.by_phase(),
+            "peak_bytes": self.ledger.peak_bytes,
+            "live_bytes": self.ledger.live_bytes,
+            "alloc_events": len(self.ledger.events),
+            "alloc_dropped": self.ledger.dropped,
+            "records_dropped": self.records_dropped,
+            "alloc_timeline": self.ledger.timeline(),
+        }
+
+    def render(self) -> str:
+        """Aligned text summary for CLI output."""
+        lines = ["== profile =="]
+        t = self.totals()
+        lines.append(
+            f"  ops={int(t['ops'])} flops={t['flops']:.3e} "
+            f"bytes={t['bytes_read'] + t['bytes_written']:.3e} "
+            f"wall={t['wall']:.3e}s "
+            f"intensity={t['arithmetic_intensity']:.2f} flop/B")
+        lines.append(f"  peak_bytes={self.ledger.peak_bytes} "
+                     f"(live={self.ledger.live_bytes})")
+        for title, table in (("op", self.by_op()),
+                             ("stage", self.by_stage()),
+                             ("phase", self.by_phase())):
+            lines.append(f"  -- by {title} --")
+            ordered = sorted(table.items(), key=lambda kv: -kv[1]["wall"])
+            for name, row in ordered:
+                moved = row["bytes_read"] + row["bytes_written"]
+                lines.append(
+                    f"  {name:16s} n={int(row['count']):5d} "
+                    f"flops={row['flops']:.3e} bytes={moved:.3e} "
+                    f"wall={row['wall']:.3e}s")
+        return "\n".join(lines)
+
+    # -- trace export --------------------------------------------------
+
+    def export_trace(self, recorder: TraceRecorder) -> None:
+        """Emit op spans and counter tracks into a trace recorder.
+
+        Spans land on ``prof/forward`` / ``prof/backward`` tracks; two
+        Chrome counter series (``ph="C"``) carry the live-set bytes and
+        cumulative FLOPs so the memory envelope renders as a filled
+        chart in Perfetto.
+        """
+        cumulative = 0.0
+        for rec in self.records:
+            recorder.span(rec.name, CAT_PROF, rec.ts, rec.wall,
+                          track=f"prof/{rec.phase}",
+                          args={"stage": rec.stage,
+                                "flops": rec.cost.flops,
+                                "bytes_read": rec.cost.bytes_read,
+                                "bytes_written": rec.cost.bytes_written,
+                                "intensity":
+                                    rec.cost.arithmetic_intensity})
+            cumulative += rec.cost.flops
+            recorder.counter("flops_cumulative", CAT_PROF,
+                             rec.ts + rec.wall, {"flops": cumulative},
+                             track="prof/counters")
+        for ev in self.ledger.events:
+            recorder.counter("live_bytes", CAT_PROF, ev.ts,
+                             {"bytes": ev.live}, track="prof/counters")
+
+
+# ----------------------------------------------------------------------
+# Process-wide profiler (None = disabled, the default)
+# ----------------------------------------------------------------------
+
+_profiler: Profiler | None = None
+
+
+def active() -> Profiler | None:
+    """The process-wide profiler, or None when profiling is off.
+
+    Instrumented hot paths call this once per op; the disabled path is
+    a single module-global load.
+    """
+    return _profiler
+
+
+get_profiler = active
+
+
+def set_profiler(prof: Profiler | None) -> Profiler | None:
+    """Install (or clear, with None) the process-wide profiler."""
+    global _profiler
+    previous = _profiler
+    _profiler = prof
+    return previous
+
+
+@contextlib.contextmanager
+def profiling(prof: Profiler | None = None):
+    """Enable profiling for the dynamic extent of the context.
+
+    Closes the allocation ledger on exit so stragglers released later
+    (interpreter shutdown, garbage collection of leaked graphs) cannot
+    distort the recorded timeline, and restores whatever profiler was
+    installed before.
+    """
+    prof = prof if prof is not None else Profiler()
+    previous = set_profiler(prof)
+    try:
+        yield prof
+    finally:
+        prof.ledger.close()
+        set_profiler(previous)
+
+
+def stage(name: str) -> _StageCtx | _NullCtx:
+    """Hot-path stage helper: no-op singleton when profiling is off."""
+    prof = _profiler
+    if prof is None:
+        return _NULL_CTX
+    return prof.stage(name)
+
+
+# ----------------------------------------------------------------------
+# Closed-form cost helpers (shared with tests and calibration)
+# ----------------------------------------------------------------------
+
+def gemm_flops(m: int, n: int, k: int, batch: int = 1) -> float:
+    """Multiply-accumulate count of ``(m, k) @ (k, n)``: ``2*m*n*k``."""
+    return 2.0 * batch * m * n * k
+
+
+def matmul_cost(a_shape: tuple[int, ...], b_shape: tuple[int, ...],
+                out_shape: tuple[int, ...]) -> tuple[OpCost, OpCost]:
+    """Forward and backward costs of (possibly batched) ``a @ b``.
+
+    Forward: ``2 * |out| * k`` FLOPs.  Backward computes both
+    ``grad @ b.T`` and ``a.T @ grad`` — two GEMMs of the same
+    multiply-accumulate volume, so ``4 * |out| * k``.
+    """
+    k = a_shape[-1]
+    a_size = int(np.prod(a_shape))
+    b_size = int(np.prod(b_shape))
+    out_size = int(np.prod(out_shape))
+    fwd = OpCost(flops=2.0 * out_size * k,
+                 bytes_read=(a_size + b_size) * ITEMSIZE,
+                 bytes_written=out_size * ITEMSIZE)
+    bwd = OpCost(flops=4.0 * out_size * k,
+                 bytes_read=(out_size + a_size + b_size) * ITEMSIZE,
+                 bytes_written=(a_size + b_size) * ITEMSIZE)
+    return fwd, bwd
+
+
+#: Per-element FLOP factors (forward, backward) of the elementwise ops.
+#: Conventions: add/sub/mul/compare = 1, divide = 4, transcendental
+#: (exp/log/tanh/sqrt) = 6.  E.g. gelu forward is ~4 muls/adds for the
+#: cubic polynomial, one tanh (6) and 4 more muls/adds = 14; softmax
+#: pays max + subtract + exp + sum + divide per element = 12.
+_EW: dict[str, tuple[float, float]] = {
+    "add": (1.0, 1.0),
+    "neg": (1.0, 1.0),
+    "mul": (1.0, 2.0),
+    "div": (4.0, 9.0),
+    "pow": (7.0, 9.0),
+    "relu": (2.0, 1.0),
+    "gelu": (14.0, 18.0),
+    "tanh": (6.0, 3.0),
+    "exp": (6.0, 1.0),
+    "log": (6.0, 4.0),
+    "softmax": (12.0, 4.0),
+    "log_softmax": (14.0, 3.0),
+    "layer_norm": (9.0, 12.0),
+}
+
+
+def elementwise_cost(name: str, n: int,
+                     n_inputs: int = 1) -> tuple[OpCost, OpCost]:
+    """Forward/backward cost of an elementwise op over ``n`` elements.
+
+    Forward reads every input and writes the output; backward reads the
+    upstream gradient plus the saved inputs and writes one gradient per
+    input.
+    """
+    f_fwd, f_bwd = _EW[name]
+    fwd = OpCost(flops=f_fwd * n,
+                 bytes_read=n_inputs * n * ITEMSIZE,
+                 bytes_written=n * ITEMSIZE)
+    bwd = OpCost(flops=f_bwd * n,
+                 bytes_read=(1 + n_inputs) * n * ITEMSIZE,
+                 bytes_written=n_inputs * n * ITEMSIZE)
+    return fwd, bwd
+
+
+def reduction_cost(n_in: int, n_out: int) -> tuple[OpCost, OpCost]:
+    """Cost of a sum-reduction from ``n_in`` to ``n_out`` elements."""
+    fwd = OpCost(flops=float(max(n_in - n_out, 0)),
+                 bytes_read=n_in * ITEMSIZE,
+                 bytes_written=n_out * ITEMSIZE)
+    bwd = OpCost(flops=0.0,
+                 bytes_read=n_out * ITEMSIZE,
+                 bytes_written=n_in * ITEMSIZE)
+    return fwd, bwd
+
+
+def routes_of(crit) -> int:
+    """Live routes ``r <= k*T``: slots that are valid with nonzero gate.
+
+    Matches ``repro.moe.encode._flat_routes`` — the element count the
+    sparse kernels actually touch.
+    """
+    return int(np.count_nonzero(crit.valid & (crit.gates != 0)))
+
+
+def sparse_encode_cost(routes: int, cells: int, model_dim: int) -> OpCost:
+    """fast_encode forward: zero-fill ``cells = E*dC`` rows, then
+    scatter-copy ``routes`` rows of ``model_dim`` — no FLOPs, pure data
+    movement (``O(T*k*M)`` useful elements)."""
+    return OpCost(flops=0.0,
+                  bytes_read=routes * model_dim * ITEMSIZE,
+                  bytes_written=(cells + routes) * model_dim * ITEMSIZE)
+
+
+def sparse_encode_backward_cost(routes: int, tokens: int,
+                                model_dim: int) -> OpCost:
+    """fast_encode backward: gather ``routes`` cell-gradient rows and
+    scatter-add into ``tokens`` token gradients."""
+    return OpCost(flops=float(routes * model_dim),
+                  bytes_read=2.0 * routes * model_dim * ITEMSIZE,
+                  bytes_written=(tokens + routes) * model_dim * ITEMSIZE)
+
+
+def sparse_decode_cost(routes: int, tokens: int, model_dim: int) -> OpCost:
+    """fast_decode forward: per route one gate multiply and one add per
+    element (``2*r*M`` FLOPs) into a zeroed ``(T, M)`` output."""
+    return OpCost(flops=2.0 * routes * model_dim,
+                  bytes_read=(2.0 * routes * model_dim + routes) * ITEMSIZE,
+                  bytes_written=(tokens + routes) * model_dim * ITEMSIZE)
+
+
+def sparse_decode_backward_cost(routes: int, cells: int, gate_slots: int,
+                                model_dim: int) -> OpCost:
+    """fast_decode backward: grad_z scatter-add (``2*r*M``) plus the
+    per-route gate-gradient dot products (``2*r*M``)."""
+    return OpCost(
+        flops=4.0 * routes * model_dim,
+        bytes_read=3.0 * routes * model_dim * ITEMSIZE,
+        bytes_written=((cells + routes) * model_dim + gate_slots) * ITEMSIZE)
+
+
+def dense_encode_flops(tokens: int, num_experts: int, capacity: int,
+                       model_dim: int) -> float:
+    """The dense GShard dispatch einsum ``"tec,tm->ecm"``:
+    ``O(T*E*C*M)`` multiply-adds, overwhelmingly zeros (Figure 24's
+    dense-vs-sparse gap)."""
+    return 2.0 * tokens * num_experts * capacity * model_dim

@@ -25,10 +25,17 @@ import zlib
 from dataclasses import dataclass, field
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "RESERVOIR_SIZE"]
+           "RESERVOIR_SIZE", "SUMMARY_KEYS"]
 
 #: Number of samples each histogram keeps for quantile estimation.
 RESERVOIR_SIZE = 256
+
+#: The contract of :meth:`Histogram.summary`: every key below is
+#: present in every summary — including ``count: 0`` on a cold
+#: instrument — so aggregating consumers (the profiler, dashboards)
+#: never need to guard against missing keys.
+SUMMARY_KEYS = ("empty", "count", "total", "mean", "min", "max",
+                "p50", "p95", "p99")
 
 
 @dataclass
@@ -122,10 +129,12 @@ class Histogram:
         return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
     def summary(self) -> dict[str, float | bool]:
-        """Aggregate dump; every field is a defined finite value even
-        with zero observations (``empty`` flags that case so consumers
-        can tell a true 0.0 from "nothing was observed")."""
-        return {
+        """Aggregate dump; every :data:`SUMMARY_KEYS` field is a
+        defined finite value even with zero observations — ``count`` is
+        emitted as 0 on a cold instrument, and ``empty`` flags that
+        case so consumers can tell a true 0.0 from "nothing was
+        observed"."""
+        out = {
             "empty": self.count == 0,
             "count": self.count,
             "total": self.total,
@@ -136,6 +145,8 @@ class Histogram:
             "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
         }
+        assert tuple(out) == SUMMARY_KEYS
+        return out
 
 
 @dataclass

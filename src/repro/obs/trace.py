@@ -40,6 +40,7 @@ __all__ = [
     "CAT_FAULT",
     "CAT_CKPT",
     "CAT_HEALTH",
+    "CAT_PROF",
 ]
 
 # Event categories (the Chrome-trace ``cat`` field).
@@ -52,6 +53,7 @@ CAT_BENCH = "bench"            # explicit benchmark timers
 CAT_FAULT = "fault"            # injected faults and recoveries
 CAT_CKPT = "ckpt"              # checkpoint save/restore markers
 CAT_HEALTH = "health"          # online health-detector alerts
+CAT_PROF = "prof"              # op-level profiler spans and counters
 
 _MICRO = 1e6
 
@@ -63,7 +65,9 @@ class TraceEvent:
     ``ts``/``dur`` are in *seconds* on the recorder's timeline (wall
     clock since recorder start, or simulated time); export converts to
     the microseconds Chrome expects.  ``phase`` is ``"X"`` for a
-    complete span and ``"i"`` for an instant marker (``dur`` 0).
+    complete span, ``"i"`` for an instant marker (``dur`` 0), or
+    ``"C"`` for a counter sample whose series values live in ``args``
+    (the profiler's live-bytes / cumulative-FLOP tracks).
     """
 
     name: str
@@ -85,8 +89,9 @@ class TraceEvent:
         }
         if self.phase == "X":
             event["dur"] = self.dur * _MICRO
-        else:
+        elif self.phase == "i":
             event["s"] = "t"  # instant scope: thread
+        # "C" counter events carry only their args series.
         if self.args:
             event["args"] = dict(self.args)
         return event
@@ -147,6 +152,17 @@ class TraceRecorder:
         """Record one instant marker (``ph="i"``)."""
         self.record(TraceEvent(name=name, cat=cat, ts=ts, track=track,
                                phase="i", args=args or {}))
+
+    def counter(self, name: str, cat: str, ts: float, values: dict,
+                track: str = "main") -> None:
+        """Record one counter sample (``ph="C"``).
+
+        ``values`` maps series name to numeric value; Chrome/Perfetto
+        render consecutive samples of the same ``name`` as a stacked
+        area chart.
+        """
+        self.record(TraceEvent(name=name, cat=cat, ts=ts, track=track,
+                               phase="C", args=dict(values)))
 
     # -- export --------------------------------------------------------
 

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import discover_benches, main, run_bench
@@ -221,3 +223,63 @@ class TestChaosCommand:
         assert "fault.recovered" in out
         assert trace.read_text().strip()
         assert obs_module.get_observer() is None
+
+
+class TestProfileCommand:
+    def test_profile_layer_writes_artifacts(self, tmp_path, capsys,
+                                            monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path / "bench"))
+        trace = tmp_path / "trace.json"
+        summary = tmp_path / "summary.json"
+        assert main(["profile", "layer", "--trace", str(trace),
+                     "--json", str(summary)]) == 0
+        out = capsys.readouterr().out
+        assert "== profile ==" in out
+        assert "moe_dispatch" in out and "expert_gemm" in out
+        payload = json.loads(summary.read_text())
+        assert payload["totals"]["flops"] > 0
+        assert payload["peak_bytes"] > 0
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert any(e.get("ph") == "C" for e in events)  # counters
+        assert (tmp_path / "bench"
+                / "BENCH_profile_layer.json").exists()
+        from repro.obs.runs import RunStore
+
+        store = RunStore(tmp_path / "runs")
+        manifest = store.manifest(store.latest())
+        assert manifest.summary["profile.peak_bytes"] > 0
+
+    def test_profile_step_matches_baseline_fingerprint(self, tmp_path,
+                                                       monkeypatch,
+                                                       capsys):
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_RUNS_DIR", raising=False)
+        assert main(["profile", "step"]) == 0
+        capsys.readouterr()
+        from repro.bench.report import BenchResult
+
+        current = BenchResult.load(tmp_path / "BENCH_profile_step.json")
+        baseline = BenchResult.load(
+            "benchmarks/baselines/BENCH_profile_step.json")
+        assert current.fingerprint == baseline.fingerprint
+
+    def test_profile_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "weights"])
+
+
+class TestCalibrateCommand:
+    def test_calibrate_fast_writes_report(self, tmp_path, capsys,
+                                          monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path / "bench"))
+        monkeypatch.delenv("REPRO_RUNS_DIR", raising=False)
+        report_path = tmp_path / "cal.json"
+        assert main(["calibrate", "--fast", "--json",
+                     str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "sim_vs_measured_p95_err" in out
+        assert "Per-class summary" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["profile"] == "fast"
+        assert (tmp_path / "bench" / "BENCH_calibration.json").exists()

@@ -86,6 +86,34 @@ def populate_run(root, run_id="r1", created_at=1.0, seed=0,
     return writer
 
 
+def populate_profiled_run(root, run_id="p1"):
+    """A run carrying an op-level profiler summary event."""
+    writer = RunWriter.create(root=root, run_id=run_id, seed=0,
+                              config={"kind": "profile"},
+                              created_at=2.0)
+    writer.emit("profile", data={
+        "target": "step",
+        "totals": {"ops": 68, "flops": 1.27e7, "bytes_read": 3.5e6,
+                   "bytes_written": 3.5e6, "wall": 0.012,
+                   "arithmetic_intensity": 1.8},
+        "peak_bytes": 2_046_384,
+        "by_stage": {
+            "expert_ffn": {"count": 6, "flops": 8.5e6,
+                           "bytes_read": 1.4e6, "bytes_written": 1.4e6,
+                           "wall": 0.008},
+            "gate": {"count": 14, "flops": 2.2e5, "bytes_read": 1e5,
+                     "bytes_written": 1e5, "wall": 0.0006},
+            "other": {"count": 44, "flops": 3.9e6, "bytes_read": 1.5e6,
+                      "bytes_written": 1.5e6, "wall": 0.003}},
+        "by_phase": {},
+        "alloc_timeline": [[0, 1024, "forward", "other"],
+                           [1, 409600, "forward", "gate"],
+                           [2, 2046384, "backward", "expert_ffn"],
+                           [3, 8192, "backward", "other"]]})
+    writer.finalize(summary={"profile.peak_bytes": 2_046_384.0})
+    return writer
+
+
 class TestBuildSeries:
     def test_folds_stream_into_series(self, tmp_path):
         populate_run(tmp_path)
@@ -100,6 +128,17 @@ class TestBuildSeries:
         assert [t["kind"] for t in series.timeline] == ["fault"]
         assert series.timeline[0]["what"] == "expert_failure"
         assert series.evals == [{"accuracy": 0.75}]
+
+    def test_profile_event_last_wins(self):
+        series = build_series([
+            {"kind": "profile", "step": None,
+             "data": {"peak_bytes": 100}},
+            {"kind": "profile", "step": None,
+             "data": {"peak_bytes": 250,
+                      "totals": {"flops": 1e6}}},
+        ])
+        assert series.profile == {"peak_bytes": 250,
+                                  "totals": {"flops": 1e6}}
 
     def test_negative_step_routing_excluded(self):
         series = build_series([
@@ -133,6 +172,32 @@ class TestRenderDashboard:
         assert "dead_expert" in doc and "entropy_drift" in doc
         # status is never color-alone: glyph+word labels present
         assert "critical" in doc and "warning" in doc
+
+    def test_profile_panels_render_self_contained(self, tmp_path):
+        populate_profiled_run(tmp_path)
+        doc = render_dashboard(RunStore(tmp_path), "p1")
+        parser = check_well_formed(doc)
+        assert "live tensor bytes" in doc     # allocation timeline
+        assert "FLOP share by MoE stage" in doc
+        assert "peak memory" in doc           # memory tile
+        assert "2.0 MiB" in doc               # human-readable bytes
+        assert "expert_ffn" in doc and "gate" in doc
+        # share bars + timeline each contribute an svg
+        assert parser.tag_counts.get("svg", 0) >= 2
+        assert "http://" not in doc and "https://" not in doc
+
+    def test_profile_share_bars_carry_percentages(self, tmp_path):
+        populate_profiled_run(tmp_path)
+        doc = render_dashboard(RunStore(tmp_path), "p1")
+        # the dominant stage's share is printed as text, not only ink:
+        # 8.5e6 of 12.61e6 total flops ~= 67.4%
+        assert "67.4%" in doc
+
+    def test_run_without_profile_omits_panels(self, tmp_path):
+        populate_run(tmp_path)
+        doc = render_dashboard(RunStore(tmp_path), "r1")
+        assert "FLOP share by MoE stage" not in doc
+        assert "live tensor bytes" not in doc
 
     def test_header_carries_manifest_fields(self, tmp_path):
         populate_run(tmp_path, seed=42)

@@ -61,6 +61,18 @@ class TestRegistry:
         h.observe(2.0)
         assert h.summary()["empty"] is False
 
+    def test_summary_keys_contract_on_cold_instrument(self):
+        # The pinned contract: every SUMMARY_KEYS field is present in
+        # key order even with zero observations — notably "count": 0 —
+        # so aggregating consumers never guard against missing keys.
+        from repro.obs.registry import SUMMARY_KEYS
+
+        cold = MetricsRegistry().histogram("cold").summary()
+        assert tuple(cold) == SUMMARY_KEYS
+        assert cold["count"] == 0
+        assert all(v == v for v in cold.values())  # no NaNs
+        json.dumps(cold)
+
     def test_histogram_quantiles_exact_under_reservoir_size(self):
         from repro.obs.registry import RESERVOIR_SIZE
 

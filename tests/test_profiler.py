@@ -1,0 +1,225 @@
+"""Closed-form FLOP/byte reference tests for the op-level profiler.
+
+The profiler's counts are analytic, so these tests assert *exact*
+equality against the textbook formulas (GEMM ``2*m*n*k`` forward /
+``4*m*n*k`` backward, sparse encode ``O(T*k*M)`` vs the dense
+``O(T*E*C*M)`` dispatch), plus the allocation-ledger invariants and a
+peak-memory regression bound against the committed baseline.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.autograd.moe_ops import moe_combine, moe_dispatch
+from repro.autograd.tensor import Tensor
+from repro.moe.gating import RoutingCriteria, compute_locations
+from repro.obs import profiler
+from repro.obs.profiler import (
+    ITEMSIZE,
+    MOE_STAGES,
+    AllocationLedger,
+    Profiler,
+    dense_encode_flops,
+    gemm_flops,
+    profiling,
+    routes_of,
+    sparse_decode_cost,
+    sparse_encode_cost,
+)
+
+BASELINES = Path(__file__).resolve().parents[1] / "benchmarks/baselines"
+
+
+def seeded_routing(t=64, e=8, k=2, capacity=16, seed=0):
+    rng = np.random.default_rng(seed)
+    order = np.argsort(rng.random((t, e)), axis=1)[:, :k]
+    idxs = np.ascontiguousarray(order.T)
+    locations = compute_locations(idxs, e)
+    gates = np.full((k, t), 1.0 / k)
+    return RoutingCriteria(idxs=idxs, locations=locations, gates=gates,
+                           capacity=capacity, num_experts=e)
+
+
+class TestGemmReference:
+    def test_forward_flops_are_2mnk(self):
+        m, k, n = 16, 24, 32
+        rng = np.random.default_rng(0)
+        with profiling() as prof:
+            out = Tensor(rng.standard_normal((m, k))) @ \
+                Tensor(rng.standard_normal((k, n)))
+            del out
+        (rec,) = [r for r in prof.records if r.name == "matmul"]
+        assert rec.cost.flops == gemm_flops(m, n, k) == 2 * m * n * k
+        assert rec.cost.bytes_read == (m * k + k * n) * ITEMSIZE
+        assert rec.cost.bytes_written == m * n * ITEMSIZE
+
+    def test_backward_flops_are_4mnk(self):
+        m, k, n = 8, 12, 10
+        rng = np.random.default_rng(1)
+        with profiling() as prof:
+            a = Tensor(rng.standard_normal((m, k)), requires_grad=True)
+            b = Tensor(rng.standard_normal((k, n)), requires_grad=True)
+            (a @ b).sum().backward()
+        (bwd,) = [r for r in prof.records
+                  if r.name == "matmul" and r.phase == "backward"]
+        assert bwd.cost.flops == 4 * m * n * k
+
+    def test_totals_sum_fwd_and_bwd(self):
+        m, k, n = 8, 8, 8
+        rng = np.random.default_rng(2)
+        with profiling() as prof:
+            a = Tensor(rng.standard_normal((m, k)), requires_grad=True)
+            b = Tensor(rng.standard_normal((k, n)), requires_grad=True)
+            (a @ b).sum().backward()
+        by_op = prof.by_op()
+        assert by_op["matmul"]["flops"] == 2 * m * n * k + 4 * m * n * k
+
+
+class TestSparseKernelReference:
+    def test_dispatch_matches_sparse_encode_cost(self):
+        crit = seeded_routing()
+        x = Tensor(np.random.default_rng(3).standard_normal((64, 32)))
+        with profiling() as prof:
+            out = moe_dispatch(x, crit)
+            del out
+        (rec,) = [r for r in prof.records if r.name == "moe_dispatch"]
+        expected = sparse_encode_cost(routes_of(crit),
+                                      crit.num_experts * crit.capacity,
+                                      32)
+        assert rec.cost == expected
+        assert rec.cost.flops == 0.0  # pure data movement
+
+    def test_combine_matches_sparse_decode_cost(self):
+        crit = seeded_routing()
+        rng = np.random.default_rng(4)
+        z = Tensor(rng.standard_normal(
+            (crit.num_experts, crit.capacity, 32)))
+        gates = Tensor(crit.gates.copy())
+        with profiling() as prof:
+            out = moe_combine(z, gates, crit)
+            del out
+        (rec,) = [r for r in prof.records if r.name == "moe_combine"]
+        r = routes_of(crit)
+        assert rec.cost == sparse_decode_cost(r, crit.num_tokens, 32)
+        assert rec.cost.flops == 2.0 * r * 32
+
+    def test_dense_vs_sparse_gap(self):
+        # Figure 24's point: dense dispatch does O(T*E*C*M) work while
+        # the sparse kernel moves only the O(T*k*M) live routes.
+        t, e, k, c, m = 1024, 64, 2, 32, 128
+        crit = seeded_routing(t=t, e=e, k=k, capacity=c)
+        dense = dense_encode_flops(t, e, c, m)
+        sparse_elems = routes_of(crit) * m
+        assert dense == 2.0 * t * e * c * m
+        # routes <= k*T, so the useful-work gap is >= E*C / (2*k)
+        assert dense / (2.0 * sparse_elems) >= e * c / (2.0 * k)
+
+
+class TestLedger:
+    def test_peak_and_live_accounting(self):
+        led = AllocationLedger()
+        led.retain(1, 100, 0.0, "forward", "other", "data")
+        led.retain(2, 50, 0.0, "forward", "other", "data")
+        led.release(1, 0.0, "forward", "other", "data")
+        assert led.peak_bytes == 150
+        assert led.live_bytes == 50
+        assert [e.delta for e in led.events] == [100, 50, -100]
+
+    def test_shared_array_counted_once(self):
+        led = AllocationLedger()
+        led.retain(7, 64, 0.0, "forward", "other", "data")
+        led.retain(7, 64, 0.0, "forward", "other", "grad")
+        assert led.live_bytes == 64
+        led.release(7, 0.0, "forward", "other", "data")
+        assert led.live_bytes == 64  # one ref still held
+        led.release(7, 0.0, "forward", "other", "grad")
+        assert led.live_bytes == 0
+
+    def test_timeline_keeps_peak(self):
+        led = AllocationLedger()
+        for i in range(500):
+            led.retain(i, 1, 0.0, "forward", "other", "data")
+            led.release(i, 0.0, "forward", "other", "data")
+        led.retain(1000, 10, 0.0, "backward", "other", "grad")
+        led.release(1000, 0.0, "backward", "other", "grad")
+        rows = led.timeline(max_points=16)
+        assert len(rows) <= 20
+        assert max(r[1] for r in rows) == led.peak_bytes
+
+    def test_frees_recorded_when_graph_dropped(self):
+        rng = np.random.default_rng(5)
+        with profiling() as prof:
+            a = Tensor(rng.standard_normal((32, 32)),
+                       requires_grad=True)
+            loss = (a @ a).sum()
+            loss.backward()
+            peak_live = prof.ledger.live_bytes
+            del loss
+        assert prof.ledger.live_bytes < peak_live
+        assert any(e.delta < 0 for e in prof.ledger.events)
+
+
+class TestProfilerEndToEnd:
+    def _profile_step(self):
+        from repro.autograd.functional import cross_entropy
+        from repro.nn.models import MoEClassifier
+        from repro.train.data import ClusteredTokenTask
+
+        task = ClusteredTokenTask(num_clusters=8, input_dim=8,
+                                  num_classes=4, noise=0.4, seed=0)
+        model = MoEClassifier(
+            input_dim=8, model_dim=32, hidden_dim=64, num_classes=4,
+            num_blocks=2, num_experts=8,
+            rng=np.random.default_rng(0), top_k=2,
+            capacity_factor=1.25)
+        batch = task.sample(128)
+        prof = Profiler()
+        with profiling(prof):
+            logits, l_aux = model(Tensor(batch.x))
+            loss = cross_entropy(logits, batch.y) + l_aux * 0.01
+            loss.backward()
+            del logits, l_aux, loss
+        return prof
+
+    def test_moe_stages_attributed(self):
+        prof = self._profile_step()
+        stages = set(prof.by_stage())
+        assert set(MOE_STAGES) <= stages
+
+    def test_deterministic_counts(self):
+        a, b = self._profile_step(), self._profile_step()
+        assert a.totals()["flops"] == b.totals()["flops"]
+        assert a.totals()["ops"] == b.totals()["ops"]
+        assert a.ledger.peak_bytes == b.ledger.peak_bytes
+
+    def test_matches_committed_baseline(self):
+        baseline = json.loads(
+            (BASELINES / "BENCH_profile_step.json").read_text())
+        values = {m["name"]: m["value"] for m in baseline["metrics"]}
+        prof = self._profile_step()
+        totals = prof.totals()
+        # Model-derived counts are exact; peak memory gets the ±10%
+        # regression band of the committed tolerance.
+        assert totals["flops"] == values["total_flops"]
+        assert totals["ops"] == values["num_ops"]
+        assert prof.ledger.peak_bytes == pytest.approx(
+            values["peak_bytes"], rel=0.10)
+
+    def test_summary_json_serializable(self):
+        prof = self._profile_step()
+        payload = json.loads(json.dumps(prof.summary()))
+        assert payload["schema_version"] == 1
+        assert payload["totals"]["flops"] > 0
+        assert payload["peak_bytes"] > 0
+        assert payload["alloc_timeline"]
+
+    def test_disabled_profiler_records_nothing(self):
+        assert profiler.active() is None
+        rng = np.random.default_rng(6)
+        out = Tensor(rng.standard_normal((4, 4))) @ \
+            Tensor(rng.standard_normal((4, 4)))
+        assert out.shape == (4, 4)
+        assert profiler.active() is None
