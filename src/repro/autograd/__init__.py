@@ -16,11 +16,17 @@ from repro.autograd.functional import (
 )
 from repro.autograd.moe_ops import (
     batched_expert_ffn_input,
+    expert_ffn,
     moe_combine,
     moe_dispatch,
 )
 from repro.autograd.optim import SGD, Adam, clip_grad_norm
 from repro.autograd.tensor import Tensor, as_tensor, stack_gradients
+from repro.core.substrate import (
+    default_dtype,
+    set_default_dtype,
+    substrate_dtype,
+)
 
 __all__ = [
     "concat",
@@ -36,6 +42,7 @@ __all__ = [
     "take_along",
     "tanh",
     "batched_expert_ffn_input",
+    "expert_ffn",
     "moe_combine",
     "moe_dispatch",
     "SGD",
@@ -44,4 +51,7 @@ __all__ = [
     "Tensor",
     "as_tensor",
     "stack_gradients",
+    "default_dtype",
+    "set_default_dtype",
+    "substrate_dtype",
 ]

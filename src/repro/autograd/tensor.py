@@ -20,6 +20,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
+from repro.core import substrate as _substrate
 from repro.obs import profiler as _prof
 
 __all__ = ["Tensor", "as_tensor", "stack_gradients"]
@@ -46,8 +47,13 @@ class Tensor:
                  "name", "_op", "__weakref__")
 
     def __init__(self, data, requires_grad: bool = False,
-                 name: str = "") -> None:
-        self.data = np.asarray(data, dtype=np.float64)
+                 name: str = "", dtype: np.dtype | None = None) -> None:
+        # Leaf tensors are coerced to the substrate dtype (float32 by
+        # default; see repro.core.substrate).  Pass ``dtype`` to pin a
+        # specific precision regardless of the process default.
+        if dtype is None:
+            dtype = _substrate.default_dtype()
+        self.data = np.asarray(data, dtype=dtype)
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad)
         self._backward: Callable[[np.ndarray], None] | None = None
@@ -63,8 +69,12 @@ class Tensor:
     def from_op(data: np.ndarray, parents: Iterable["Tensor"],
                 backward: Callable[[np.ndarray], None]) -> "Tensor":
         parents = tuple(parents)
+        # Op outputs keep the dtype NumPy produced from the inputs —
+        # re-coercing to the process default here would silently down-
+        # cast float64 gradcheck graphs (or upcast float32 ones).
         out = Tensor(data, requires_grad=any(p.requires_grad
-                                             for p in parents))
+                                             for p in parents),
+                     dtype=np.asarray(data).dtype)
         if out.requires_grad:
             out._parents = parents
             out._backward = backward
@@ -89,7 +99,7 @@ class Tensor:
     def _accumulate(self, grad: np.ndarray) -> None:
         if not self.requires_grad:
             return
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64),
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype),
                             self.data.shape)
         self.grad = grad if self.grad is None else self.grad + grad
         p = _prof.active()
@@ -144,7 +154,8 @@ class Tensor:
         self.grad = None
 
     def detach(self) -> "Tensor":
-        return Tensor(self.data.copy(), requires_grad=False)
+        return Tensor(self.data.copy(), requires_grad=False,
+                      dtype=self.data.dtype)
 
     # -- arithmetic --------------------------------------------------------
 
@@ -159,7 +170,8 @@ class Tensor:
             other._accumulate(grad)
         out = Tensor.from_op(out_data, (self, other), backward)
         if p is not None:
-            fwd, bwd = _prof.elementwise_cost("add", out_data.size, 2)
+            fwd, bwd = _prof.elementwise_cost("add", out_data.size, 2,
+                                             itemsize=out_data.itemsize)
             p.tape_op(out, "add", t0, fwd, bwd)
         return out
 
@@ -174,7 +186,8 @@ class Tensor:
             self._accumulate(-grad)
         out = Tensor.from_op(out_data, (self,), backward)
         if p is not None:
-            fwd, bwd = _prof.elementwise_cost("neg", out_data.size, 1)
+            fwd, bwd = _prof.elementwise_cost("neg", out_data.size, 1,
+                                             itemsize=out_data.itemsize)
             p.tape_op(out, "neg", t0, fwd, bwd)
         return out
 
@@ -195,7 +208,8 @@ class Tensor:
             other._accumulate(grad * self.data)
         out = Tensor.from_op(out_data, (self, other), backward)
         if p is not None:
-            fwd, bwd = _prof.elementwise_cost("mul", out_data.size, 2)
+            fwd, bwd = _prof.elementwise_cost("mul", out_data.size, 2,
+                                             itemsize=out_data.itemsize)
             p.tape_op(out, "mul", t0, fwd, bwd)
         return out
 
@@ -209,10 +223,12 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad / other.data)
-            other._accumulate(-grad * self.data / other.data ** 2)
+            other._accumulate(-grad * self.data
+                              / (other.data * other.data))
         out = Tensor.from_op(out_data, (self, other), backward)
         if p is not None:
-            fwd, bwd = _prof.elementwise_cost("div", out_data.size, 2)
+            fwd, bwd = _prof.elementwise_cost("div", out_data.size, 2,
+                                             itemsize=out_data.itemsize)
             p.tape_op(out, "div", t0, fwd, bwd)
         return out
 
@@ -221,13 +237,27 @@ class Tensor:
             raise TypeError("only scalar exponents are supported")
         p = _prof.active()
         t0 = p.clock() if p is not None else 0.0
-        out_data = self.data ** exponent
+        # ``**`` hits the generic pow kernel even for small integer or
+        # half exponents; the common cases deserve the cheap kernels.
+        if exponent == 2:
+            out_data = self.data * self.data
+        elif exponent == 0.5:
+            out_data = np.sqrt(self.data)
+        else:
+            out_data = self.data ** exponent
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+            if exponent == 2:
+                self._accumulate(grad * 2.0 * self.data)
+            elif exponent == 0.5:
+                self._accumulate(grad * 0.5 / out_data)
+            else:
+                self._accumulate(
+                    grad * exponent * self.data ** (exponent - 1))
         out = Tensor.from_op(out_data, (self,), backward)
         if p is not None:
-            fwd, bwd = _prof.elementwise_cost("pow", out_data.size, 1)
+            fwd, bwd = _prof.elementwise_cost("pow", out_data.size, 1,
+                                             itemsize=out_data.itemsize)
             p.tape_op(out, "pow", t0, fwd, bwd)
         return out
 
@@ -243,7 +273,8 @@ class Tensor:
         out = Tensor.from_op(out_data, (self, other), backward)
         if p is not None:
             fwd, bwd = _prof.matmul_cost(self.data.shape, other.data.shape,
-                                         out_data.shape)
+                                         out_data.shape,
+                                         itemsize=out_data.itemsize)
             p.tape_op(out, "matmul", t0, fwd, bwd)
         return out
 
@@ -300,7 +331,8 @@ class Tensor:
             self._accumulate(np.broadcast_to(g, shape))
         out = Tensor.from_op(out_data, (self,), backward)
         if p is not None:
-            fwd, bwd = _prof.reduction_cost(self.data.size, out_data.size)
+            fwd, bwd = _prof.reduction_cost(self.data.size, out_data.size,
+                                            itemsize=out_data.itemsize)
             p.tape_op(out, "sum", t0, fwd, bwd)
         return out
 
@@ -324,5 +356,6 @@ def stack_gradients(tensors: Iterable[Tensor]) -> float:
     total = 0.0
     for t in tensors:
         if t.grad is not None:
-            total += float(np.sum(t.grad ** 2))
+            g = np.ascontiguousarray(t.grad)
+            total += float(np.vdot(g, g))
     return float(np.sqrt(total))

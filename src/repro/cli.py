@@ -473,6 +473,54 @@ def _profile_run_ctx(kind: str, config: dict):
     return recording_run(config={"kind": kind, **config}, seed=0)
 
 
+def _dtype_speedup_probe(repeats: int = 3) -> tuple[float, float, float]:
+    """Measured step-wall ratio ``float64 / active dtype``.
+
+    Runs fwd+bwd of one expert-FFN-dominated MoE layer (M=256, H=512,
+    T=2048, E=8, k=2 — big enough that GEMM/elementwise throughput,
+    not Python op overhead, sets the wall) once per substrate dtype,
+    interleaved round-robin with a warmup round, keeping each side's
+    best.  Host speed cancels in the ratio, which is why the regression
+    gate can pin it (``kind="model"``) while raw walls stay
+    ``kind="measured"``.  Returns ``(ratio, wall_f64, wall_active)``.
+    """
+    import time as _time
+
+    import numpy as np
+
+    from repro.autograd.tensor import Tensor
+    from repro.core.substrate import default_dtype, substrate_dtype
+    from repro.nn.moe import MoE
+
+    def build(dt):
+        with substrate_dtype(dt):
+            rng = np.random.default_rng(0)
+            layer = MoE(256, 512, 8, rng, top_k=2, capacity_factor=1.25)
+            x = rng.standard_normal((2048, 256))
+            return layer, x
+
+    def one_step(layer, x, dt) -> float:
+        with substrate_dtype(dt):
+            t0 = _time.perf_counter()
+            out, l_aux = layer(Tensor(x, requires_grad=True))
+            loss = out.sum() + l_aux
+            loss.backward()
+            return _time.perf_counter() - t0
+
+    active = default_dtype()
+    ref = build(np.float64)
+    act = build(active)
+    best_ref = best_act = float("inf")
+    for rnd in range(repeats + 1):
+        w_ref = one_step(*ref, np.float64)
+        w_act = one_step(*act, active)
+        if rnd == 0:
+            continue  # warmup round: caches, BLAS init
+        best_ref = min(best_ref, w_ref)
+        best_act = min(best_act, w_act)
+    return best_ref / best_act, best_ref, best_act
+
+
 def _cmd_profile(target: str, batch: int, trace_path: str | None,
                  json_path: str | None) -> None:
     """Deterministic op-level profile of the seed model
@@ -485,6 +533,7 @@ def _cmd_profile(target: str, batch: int, trace_path: str | None,
     from repro.autograd.functional import cross_entropy
     from repro.autograd.tensor import Tensor
     from repro.bench.report import Metric, emit
+    from repro.core.substrate import default_dtype
     from repro.obs.profiler import Profiler, profiling
 
     if target not in ("step", "layer"):
@@ -539,18 +588,40 @@ def _cmd_profile(target: str, batch: int, trace_path: str | None,
                 "profile.peak_bytes": float(summary["peak_bytes"]),
                 "profile.total_flops": float(totals["flops"]),
                 "profile.ops": float(totals["ops"])})
+        metrics = [Metric("peak_bytes", float(summary["peak_bytes"]),
+                          unit="B", kind="model", tolerance=0.10),
+                   Metric("total_flops", float(totals["flops"]),
+                          unit="flop", kind="model", tolerance=0.0),
+                   Metric("num_ops", float(totals["ops"]), kind="model",
+                          tolerance=0.0),
+                   Metric("wall_seconds", float(totals["wall"]),
+                          unit="s", kind="measured")]
+        if target == "step":
+            # ISSUE 6 gate: the float32 substrate must be measurably
+            # faster than float64 on the same code.  The ratio is
+            # host-independent, so it is gated as kind="model"; the
+            # committed baseline pins it at the 2.0 acceptance bound
+            # with a 0.25 tolerance for noisy CI hosts (same convention
+            # as the calibration fidelity gate).
+            ratio, wall_f64, wall_act = _dtype_speedup_probe()
+            print(f"[profile] dtype speedup probe: float64 "
+                  f"{wall_f64 * 1e3:.1f} ms -> "
+                  f"{np.dtype(default_dtype()).name} "
+                  f"{wall_act * 1e3:.1f} ms ({ratio:.2f}x)")
+            metrics += [
+                Metric("speedup_vs_float64", float(ratio), unit="x",
+                       kind="model", higher_is_better=True,
+                       tolerance=0.25),
+                Metric("probe_wall_float64", float(wall_f64), unit="s",
+                       kind="measured"),
+                Metric("probe_wall_active", float(wall_act), unit="s",
+                       kind="measured")]
         emit(f"profile_{target}",
              f"Op-level profile of the seed model ({target})",
-             [Metric("peak_bytes", float(summary["peak_bytes"]),
-                     unit="B", kind="model", tolerance=0.10),
-              Metric("total_flops", float(totals["flops"]),
-                     unit="flop", kind="model", tolerance=0.0),
-              Metric("num_ops", float(totals["ops"]), kind="model",
-                     tolerance=0.0),
-              Metric("wall_seconds", float(totals["wall"]), unit="s",
-                     kind="measured")],
-             config={"schema": 1, "target": target, "batch": batch,
-                     "model": "seed-moe-classifier"},
+             metrics,
+             config={"schema": 2, "target": target, "batch": batch,
+                     "model": "seed-moe-classifier",
+                     "dtype": np.dtype(default_dtype()).name},
              verbose=True)
     if trace_path:
         from repro.obs.trace import TraceRecorder

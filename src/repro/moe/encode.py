@@ -19,6 +19,8 @@ Figure 24 bench measures the (real, CPU) speed gap.
 
 from __future__ import annotations
 
+import sys
+
 import numpy as np
 
 from repro.moe.gating import RoutingCriteria
@@ -32,7 +34,71 @@ __all__ = [
     "fast_encode_backward",
     "fast_decode",
     "fast_decode_backward",
+    "DispatchBufferPool",
+    "dispatch_buffer_pool",
 ]
+
+
+# ----------------------------------------------------------------------
+# Dispatch buffer reuse
+# ----------------------------------------------------------------------
+
+class DispatchBufferPool:
+    """Free-list of scatter output buffers for the fast kernels.
+
+    Every fast encode/decode call needs a zeroed ``(E*dC, M)`` or
+    ``(T, M)`` output; allocating it fresh each step costs more than
+    the scatter itself at small M.  The pool hands back a previously
+    allocated array of the same (shape, dtype) — but **only** when the
+    pool list provably holds the sole reference (``sys.getrefcount``
+    == 3: list entry + loop variable + getrefcount argument).  An
+    array still alive inside an earlier step's autograd graph has a
+    higher refcount and is never reused, so aliasing across live
+    graphs is impossible.  This leans on CPython's deterministic
+    refcounting exactly like the profiler's allocation ledger; on
+    interpreters without ``sys.getrefcount`` the pool degrades to
+    plain allocation.
+    """
+
+    def __init__(self, max_arrays_per_shape: int = 4) -> None:
+        if max_arrays_per_shape < 1:
+            raise ValueError("max_arrays_per_shape must be >= 1, got "
+                             f"{max_arrays_per_shape}")
+        self.max_arrays_per_shape = max_arrays_per_shape
+        self.enabled = hasattr(sys, "getrefcount")
+        self.hits = 0
+        self.misses = 0
+        self._free: dict[tuple, list[np.ndarray]] = {}
+
+    def zeros(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """A zeroed array of (shape, dtype), reused when provably free."""
+        if not self.enabled:
+            return np.zeros(shape, dtype=dtype)
+        key = (tuple(shape), np.dtype(dtype).str)
+        slots = self._free.setdefault(key, [])
+        for arr in slots:
+            if sys.getrefcount(arr) == 3:
+                self.hits += 1
+                arr.fill(0)
+                return arr
+        self.misses += 1
+        arr = np.zeros(shape, dtype=dtype)
+        if len(slots) < self.max_arrays_per_shape:
+            slots.append(arr)
+        return arr
+
+    def clear(self) -> None:
+        self._free.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_POOL = DispatchBufferPool()
+
+
+def dispatch_buffer_pool() -> DispatchBufferPool:
+    """The process-wide pool used by the fast encode/decode kernels."""
+    return _POOL
 
 
 # ----------------------------------------------------------------------
@@ -46,7 +112,10 @@ def dense_combine_weights(crit: RoutingCriteria) -> np.ndarray:
     to expert ``e`` at queue position ``c`` within capacity.
     """
     t = crit.num_tokens
-    combine = np.zeros((t, crit.num_experts, crit.capacity))
+    # Allocate in the gates' dtype: an untyped np.zeros would silently
+    # upcast the whole dense reference path to float64.
+    combine = np.zeros((t, crit.num_experts, crit.capacity),
+                       dtype=crit.gates.dtype)
     valid = crit.valid
     for slot in range(crit.top_k):
         sel = valid[slot]
@@ -91,13 +160,31 @@ def _flat_routes(crit: RoutingCriteria) -> tuple[np.ndarray, np.ndarray,
     return tokens, cells, gates
 
 
+def _slot_routes(crit: RoutingCriteria):
+    """Per-slot valid routes: yields (token idxs, flat cells, gates).
+
+    Within one top-k slot every token appears at most once, which lets
+    the callers use unbuffered fancy-index ``+=`` instead of the much
+    slower ``np.add.at``.
+    """
+    valid = crit.valid & (crit.gates != 0)
+    for slot in range(crit.top_k):
+        sel = valid[slot]
+        toks = np.nonzero(sel)[0]
+        if not toks.size:
+            continue
+        cells = (crit.idxs[slot, sel] * crit.capacity
+                 + crit.locations[slot, sel])
+        yield toks, cells, crit.gates[slot, sel]
+
+
 def fast_encode(x: np.ndarray, crit: RoutingCriteria) -> np.ndarray:
     """Sparse dispatch (kernel K0 forward): scatter tokens into
     ``(E, dC, M)`` capacity cells; ``O(T * k * M)`` work."""
     _check_tokens(x, crit)
     tokens, cells, _ = _flat_routes(crit)
-    out = np.zeros((crit.num_experts * crit.capacity, x.shape[1]),
-                   dtype=x.dtype)
+    out = _POOL.zeros((crit.num_experts * crit.capacity, x.shape[1]),
+                      x.dtype)
     # Queue positions are unique per expert, so '=' and '+=' agree.
     out[cells] = x[tokens]
     return out.reshape(crit.num_experts, crit.capacity, x.shape[1])
@@ -111,11 +198,13 @@ def fast_encode_backward(grad_dispatched: np.ndarray,
     gradients of every cell it was scattered to.
     """
     _check_dispatched(grad_dispatched, crit)
-    tokens, cells, _ = _flat_routes(crit)
     m = grad_dispatched.shape[-1]
     flat = grad_dispatched.reshape(-1, m)
-    grad_x = np.zeros((crit.num_tokens, m), dtype=grad_dispatched.dtype)
-    np.add.at(grad_x, tokens, flat[cells])
+    grad_x = _POOL.zeros((crit.num_tokens, m), grad_dispatched.dtype)
+    # Per slot each token appears at most once, so the unbuffered
+    # fancy '+=' is exact — no np.add.at (which is ~5x slower).
+    for toks, cells, _ in _slot_routes(crit):
+        grad_x[toks] += flat[cells]
     return grad_x
 
 
@@ -124,11 +213,13 @@ def fast_decode(expert_output: np.ndarray,
     """Sparse combine (kernel K1 forward):
     ``Y[t] = sum_slots gate * Z[idx, loc]``."""
     _check_dispatched(expert_output, crit)
-    tokens, cells, gates = _flat_routes(crit)
     m = expert_output.shape[-1]
     flat = expert_output.reshape(-1, m)
-    out = np.zeros((crit.num_tokens, m), dtype=expert_output.dtype)
-    np.add.at(out, tokens, gates[:, None] * flat[cells])
+    out = _POOL.zeros((crit.num_tokens, m), expert_output.dtype)
+    # Slot-by-slot scatter: within a slot token indices are unique,
+    # so fancy '+=' replaces the slow np.add.at.
+    for toks, cells, gates in _slot_routes(crit):
+        out[toks] += gates[:, None] * flat[cells]
     return out
 
 
@@ -150,8 +241,10 @@ def fast_decode_backward(grad_output: np.ndarray, expert_output: np.ndarray,
     m = expert_output.shape[-1]
     flat_z = expert_output.reshape(-1, m)
 
-    grad_z = np.zeros_like(flat_z)
-    np.add.at(grad_z, cells, gates[:, None] * grad_output[tokens])
+    grad_z = _POOL.zeros(flat_z.shape, flat_z.dtype)
+    # Capacity cells are globally unique (one queue position per
+    # routed token), so direct assignment replaces np.add.at.
+    grad_z[cells] = gates[:, None] * grad_output[tokens]
     grad_z = grad_z.reshape(expert_output.shape)
 
     grad_gates = np.zeros_like(crit.gates)

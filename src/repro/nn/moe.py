@@ -13,9 +13,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.autograd.functional import gelu, relu, softmax, take_along
+from repro.autograd.functional import softmax, take_along
 from repro.autograd.moe_ops import (
-    batched_expert_ffn_input,
+    expert_ffn,
     moe_combine,
     moe_dispatch,
 )
@@ -174,7 +174,8 @@ class MoE(Module):
                 # Graceful degradation: a large negative logit zeroes
                 # the dead experts' probabilities, so selection and the
                 # aux loss see only survivors; k shrinks if needed.
-                mask = np.zeros((1, self.num_experts))
+                mask = np.zeros((1, self.num_experts),
+                                dtype=logits.data.dtype)
                 mask[0, sorted(self.failed_experts)] = -1e30
                 logits = logits + mask
                 k = min(k, self.num_experts - len(self.failed_experts))
@@ -195,7 +196,7 @@ class MoE(Module):
                                           priority=priority)
             crit = RoutingCriteria(
                 idxs=idxs, locations=locations,
-                gates=np.zeros_like(idxs, dtype=np.float64),
+                gates=np.zeros_like(idxs, dtype=x.data.dtype),
                 capacity=cap, num_experts=self.num_experts)
             self.last_dropped_fraction = crit.dropped_fraction()
 
@@ -210,7 +211,7 @@ class MoE(Module):
                                        + 1e-12)
             # Mark the selected routes live so the sparse kernels keep
             # them; real values come from `selected` at combine time.
-            crit.gates = np.where(crit.valid, 1.0, 0.0)
+            crit.gates = crit.valid.astype(x.data.dtype)
 
         self.last_routing_stats = routing_stats(crit, probs.data)
         ob = get_observer()
@@ -220,15 +221,16 @@ class MoE(Module):
         with _span("encode", CAT_MOE), _prof.stage("dispatch"):
             dispatched = moe_dispatch(x, crit)
         with _span("expert_ffn", CAT_MOE), _prof.stage("expert_ffn"):
-            hidden = batched_expert_ffn_input(dispatched, self.w1)
-            hidden = (gelu(hidden) if self.activation == "gelu"
-                      else relu(hidden))
-            expert_out = batched_expert_ffn_input(hidden, self.w2)
+            # Fused op: act(x @ w1) @ w2 in one tape node; runs the E
+            # experts on the multicore executor when one is configured
+            # (repro.core.substrate.set_expert_workers).
+            expert_out = expert_ffn(dispatched, self.w1, self.w2,
+                                    self.activation)
         with _span("decode", CAT_MOE), _prof.stage("combine"):
             output = moe_combine(expert_out, selected, crit)
 
         # GShard auxiliary loss: E * sum_e mean_prob(e) * routed_frac(e).
         counts = np.bincount(idxs[0], minlength=self.num_experts)
-        routed_frac = Tensor(counts / t)
+        routed_frac = Tensor(counts / t, dtype=x.data.dtype)
         l_aux = (probs.mean(axis=0) * routed_frac).sum() * self.num_experts
         return output, l_aux

@@ -43,12 +43,15 @@ substrate it abstracts:
    every workload) is emitted as a schema-versioned
    ``BENCH_calibration.json`` and gated by ``repro regress``.
 
-All measurements run in float64 (``dtype_bytes=8``) to match the NumPy
-substrate; the fitted coefficients describe *this host*, not an A100 —
-the point is that the simulator's functional forms transfer.  Payload
-sizes are chosen to stay within one cache regime: the alpha-beta model
-is piecewise-linear at best across a working-set cliff, and calibration
-should fit a line to a line.
+All measurements run in the substrate's active dtype
+(:func:`repro.core.substrate.default_dtype` — float32 by default,
+``REPRO_DTYPE=float64`` to override) and every modelled byte count uses
+:func:`dtype_bytes` so the fit sees the itemsize the arrays actually
+have; the fitted coefficients describe *this host at this dtype*, not
+an A100 — the point is that the simulator's functional forms transfer.
+Payload sizes are chosen to stay within one cache regime: the
+alpha-beta model is piecewise-linear at best across a working-set
+cliff, and calibration should fit a line to a line.
 """
 
 from __future__ import annotations
@@ -74,13 +77,14 @@ from repro.cluster.topology import (
 from repro.collectives.functional import all_to_all_linear
 from repro.collectives.schedule import linear_a2a_time
 from repro.core.config import MoEConfig
+from repro.core.substrate import default_dtype, default_itemsize
 from repro.moe.gating import RoutingCriteria, compute_locations
 from repro.obs.profiler import Profiler, profiling
 from repro.runtime.kernels import sparse_decode_time, sparse_encode_time
 
 __all__ = [
     "SCHEMA_VERSION",
-    "DTYPE_BYTES",
+    "dtype_bytes",
     "Workload",
     "Measurement",
     "CalibratedTopology",
@@ -99,7 +103,14 @@ __all__ = [
 ]
 
 SCHEMA_VERSION = 1
-DTYPE_BYTES = 8  # the functional substrate computes in float64
+
+
+def dtype_bytes() -> int:
+    """Itemsize of the substrate's active dtype (4 for float32, 8 for
+    float64).  Was a hardcoded ``DTYPE_BYTES = 8`` before ISSUE 6 —
+    which double-counted every modelled byte once the substrate moved
+    to float32."""
+    return default_itemsize()
 
 _GEMM_SHAPES_FAST = ((16, 128, 128), (64, 128, 128),
                      (128, 128, 128), (256, 128, 128))
@@ -114,7 +125,8 @@ _MOE_SHAPES_FULL = _MOE_SHAPES_FAST + (
     (1024, 16, 4, 1.25, 128), (2048, 16, 2, 1.25, 256),
     (1024, 8, 4, 1.25, 256), (1024, 8, 2, 1.25, 512))
 
-# (world size, rows per peer); payload arrays are (n, rows, 32) float64.
+# (world size, rows per peer); payloads are (n, rows, 32) arrays of
+# the substrate's active dtype.
 # Shapes are capped so input+output working sets stay cache-resident.
 _A2A_SHAPES_FAST = ((2, 128), (2, 512), (4, 64), (4, 192),
                     (8, 24), (8, 48))
@@ -188,7 +200,7 @@ def _moe_config(params: dict) -> MoEConfig:
         tokens_per_gpu=int(params["tokens"]),
         top_k=int(params["top_k"]),
         capacity_factor=float(params["capacity_factor"]),
-        dtype_bytes=DTYPE_BYTES)
+        dtype_bytes=dtype_bytes())
 
 
 def _moe_moved_bytes(cfg: MoEConfig) -> float:
@@ -208,7 +220,7 @@ def _moe_moved_bytes(cfg: MoEConfig) -> float:
 def _a2a_payload_bytes(params: dict) -> float:
     """Per-rank buffer size S of one all-to-all workload."""
     n = int(params["world"])
-    return float(n * int(params["rows"]) * _A2A_COLS * DTYPE_BYTES)
+    return float(n * int(params["rows"]) * _A2A_COLS * dtype_bytes())
 
 
 def gemm_workloads(fast: bool = False) -> list[Workload]:
@@ -247,7 +259,7 @@ def _routing(rng: np.random.Generator, t: int, e: int, k: int,
     order = np.argsort(rng.random((t, e)), axis=1)[:, :k]
     idxs = np.ascontiguousarray(order.T)
     locations = compute_locations(idxs, e)
-    gates = np.full((k, t), 1.0 / k)
+    gates = np.full((k, t), 1.0 / k, dtype=default_dtype())
     return RoutingCriteria(idxs=idxs, locations=locations, gates=gates,
                            capacity=capacity, num_experts=e)
 
@@ -262,8 +274,9 @@ def _profiled_wall(op_name: str, run: Callable[[], None]) -> float:
 
 def _gemm_runner(w: Workload,
                  rng: np.random.Generator) -> Callable[[], float]:
-    a = rng.standard_normal((w.params["m"], w.params["k"]))
-    b = rng.standard_normal((w.params["k"], w.params["n"]))
+    dt = default_dtype()
+    a = rng.standard_normal((w.params["m"], w.params["k"])).astype(dt)
+    b = rng.standard_normal((w.params["k"], w.params["n"])).astype(dt)
     return lambda: _profiled_wall(
         "matmul", lambda: Tensor(a) @ Tensor(b))
 
@@ -273,7 +286,8 @@ def _moe_runner(w: Workload,
     cfg = _moe_config(w.params)
     crit = _routing(rng, cfg.tokens_per_gpu, cfg.num_global_experts,
                     cfg.top_k, cfg.capacity_per_gpu)
-    x = rng.standard_normal((cfg.tokens_per_gpu, cfg.model_dim))
+    x = rng.standard_normal(
+        (cfg.tokens_per_gpu, cfg.model_dim)).astype(default_dtype())
     if w.op_class == "encode":
         return lambda: _profiled_wall(
             "moe_dispatch", lambda: moe_dispatch(Tensor(x), crit))
@@ -286,8 +300,9 @@ def _moe_runner(w: Workload,
 def _a2a_runner(w: Workload, rng: np.random.Generator,
                 clock=time.perf_counter) -> Callable[[], float]:
     n = int(w.params["world"])
-    inputs = [rng.standard_normal((n, int(w.params["rows"]), _A2A_COLS))
-              for _ in range(n)]
+    inputs = [rng.standard_normal(
+        (n, int(w.params["rows"]), _A2A_COLS)).astype(default_dtype())
+        for _ in range(n)]
 
     def run() -> float:
         t0 = clock()
@@ -635,7 +650,9 @@ def emit_calibration(report: CalibrationReport,
         metrics.append(Metric(name, value, unit=unit, kind="measured"))
     config = {"schema": SCHEMA_VERSION, "profile": report.profile,
               "classes": sorted(report.per_class),
-              "fit": "nonneg-relative-lstsq"}
+              "fit": "nonneg-relative-lstsq",
+              "dtype": np.dtype(default_dtype()).name,
+              "dtype_bytes": dtype_bytes()}
     return emit("calibration", "Simulator-fidelity calibration",
                 metrics, config=config, directory=directory,
                 verbose=verbose)

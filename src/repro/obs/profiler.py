@@ -33,8 +33,11 @@ module-global ``is None`` check.  Enable around a region::
 
 FLOP conventions (documented so the closed-form counts are
 reproducible): one add/sub/mul/compare = 1 FLOP, one divide = 4 FLOPs,
-one transcendental (exp/log/tanh/sqrt) = 6 FLOPs.  Bytes assume the
-substrate's float64 (:data:`ITEMSIZE` = 8).
+one transcendental (exp/log/tanh/sqrt) = 6 FLOPs.  Byte counts are
+itemsize-aware: every cost helper takes an ``itemsize`` argument
+(instrumented call sites pass the actual array itemsize) defaulting to
+the active substrate dtype's — 4 under the float32 default, 8 under
+float64 (:func:`repro.core.substrate.default_itemsize`).
 """
 
 from __future__ import annotations
@@ -47,10 +50,11 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.core.substrate import default_itemsize
 from repro.obs.trace import CAT_PROF, TraceRecorder
 
 __all__ = [
-    "ITEMSIZE",
+    "default_itemsize",
     "PHASE_FORWARD",
     "PHASE_BACKWARD",
     "STAGE_OTHER",
@@ -77,9 +81,6 @@ __all__ = [
     "sparse_decode_backward_cost",
     "dense_encode_flops",
 ]
-
-#: Bytes per element — the functional substrate computes in float64.
-ITEMSIZE = 8
 
 PHASE_FORWARD = "forward"
 PHASE_BACKWARD = "backward"
@@ -112,6 +113,14 @@ class OpCost:
         """FLOPs per byte moved (0 when no bytes move)."""
         total = self.bytes_total
         return self.flops / total if total else 0.0
+
+    def __add__(self, other: "OpCost") -> "OpCost":
+        """Component-wise sum — fused ops compose their stage costs."""
+        if not isinstance(other, OpCost):
+            return NotImplemented
+        return OpCost(flops=self.flops + other.flops,
+                      bytes_read=self.bytes_read + other.bytes_read,
+                      bytes_written=self.bytes_written + other.bytes_written)
 
 
 ZERO_COST = OpCost()
@@ -612,23 +621,25 @@ def gemm_flops(m: int, n: int, k: int, batch: int = 1) -> float:
 
 
 def matmul_cost(a_shape: tuple[int, ...], b_shape: tuple[int, ...],
-                out_shape: tuple[int, ...]) -> tuple[OpCost, OpCost]:
+                out_shape: tuple[int, ...],
+                itemsize: int | None = None) -> tuple[OpCost, OpCost]:
     """Forward and backward costs of (possibly batched) ``a @ b``.
 
     Forward: ``2 * |out| * k`` FLOPs.  Backward computes both
     ``grad @ b.T`` and ``a.T @ grad`` — two GEMMs of the same
     multiply-accumulate volume, so ``4 * |out| * k``.
     """
+    isz = itemsize if itemsize is not None else default_itemsize()
     k = a_shape[-1]
     a_size = int(np.prod(a_shape))
     b_size = int(np.prod(b_shape))
     out_size = int(np.prod(out_shape))
     fwd = OpCost(flops=2.0 * out_size * k,
-                 bytes_read=(a_size + b_size) * ITEMSIZE,
-                 bytes_written=out_size * ITEMSIZE)
+                 bytes_read=(a_size + b_size) * isz,
+                 bytes_written=out_size * isz)
     bwd = OpCost(flops=4.0 * out_size * k,
-                 bytes_read=(out_size + a_size + b_size) * ITEMSIZE,
-                 bytes_written=(a_size + b_size) * ITEMSIZE)
+                 bytes_read=(out_size + a_size + b_size) * isz,
+                 bytes_written=(a_size + b_size) * isz)
     return fwd, bwd
 
 
@@ -654,32 +665,35 @@ _EW: dict[str, tuple[float, float]] = {
 }
 
 
-def elementwise_cost(name: str, n: int,
-                     n_inputs: int = 1) -> tuple[OpCost, OpCost]:
+def elementwise_cost(name: str, n: int, n_inputs: int = 1,
+                     itemsize: int | None = None) -> tuple[OpCost, OpCost]:
     """Forward/backward cost of an elementwise op over ``n`` elements.
 
     Forward reads every input and writes the output; backward reads the
     upstream gradient plus the saved inputs and writes one gradient per
     input.
     """
+    isz = itemsize if itemsize is not None else default_itemsize()
     f_fwd, f_bwd = _EW[name]
     fwd = OpCost(flops=f_fwd * n,
-                 bytes_read=n_inputs * n * ITEMSIZE,
-                 bytes_written=n * ITEMSIZE)
+                 bytes_read=n_inputs * n * isz,
+                 bytes_written=n * isz)
     bwd = OpCost(flops=f_bwd * n,
-                 bytes_read=(1 + n_inputs) * n * ITEMSIZE,
-                 bytes_written=n_inputs * n * ITEMSIZE)
+                 bytes_read=(1 + n_inputs) * n * isz,
+                 bytes_written=n_inputs * n * isz)
     return fwd, bwd
 
 
-def reduction_cost(n_in: int, n_out: int) -> tuple[OpCost, OpCost]:
+def reduction_cost(n_in: int, n_out: int,
+                   itemsize: int | None = None) -> tuple[OpCost, OpCost]:
     """Cost of a sum-reduction from ``n_in`` to ``n_out`` elements."""
+    isz = itemsize if itemsize is not None else default_itemsize()
     fwd = OpCost(flops=float(max(n_in - n_out, 0)),
-                 bytes_read=n_in * ITEMSIZE,
-                 bytes_written=n_out * ITEMSIZE)
+                 bytes_read=n_in * isz,
+                 bytes_written=n_out * isz)
     bwd = OpCost(flops=0.0,
-                 bytes_read=n_out * ITEMSIZE,
-                 bytes_written=n_in * ITEMSIZE)
+                 bytes_read=n_out * isz,
+                 bytes_written=n_in * isz)
     return fwd, bwd
 
 
@@ -692,40 +706,47 @@ def routes_of(crit) -> int:
     return int(np.count_nonzero(crit.valid & (crit.gates != 0)))
 
 
-def sparse_encode_cost(routes: int, cells: int, model_dim: int) -> OpCost:
+def sparse_encode_cost(routes: int, cells: int, model_dim: int,
+                       itemsize: int | None = None) -> OpCost:
     """fast_encode forward: zero-fill ``cells = E*dC`` rows, then
     scatter-copy ``routes`` rows of ``model_dim`` — no FLOPs, pure data
     movement (``O(T*k*M)`` useful elements)."""
+    isz = itemsize if itemsize is not None else default_itemsize()
     return OpCost(flops=0.0,
-                  bytes_read=routes * model_dim * ITEMSIZE,
-                  bytes_written=(cells + routes) * model_dim * ITEMSIZE)
+                  bytes_read=routes * model_dim * isz,
+                  bytes_written=(cells + routes) * model_dim * isz)
 
 
-def sparse_encode_backward_cost(routes: int, tokens: int,
-                                model_dim: int) -> OpCost:
+def sparse_encode_backward_cost(routes: int, tokens: int, model_dim: int,
+                                itemsize: int | None = None) -> OpCost:
     """fast_encode backward: gather ``routes`` cell-gradient rows and
     scatter-add into ``tokens`` token gradients."""
+    isz = itemsize if itemsize is not None else default_itemsize()
     return OpCost(flops=float(routes * model_dim),
-                  bytes_read=2.0 * routes * model_dim * ITEMSIZE,
-                  bytes_written=(tokens + routes) * model_dim * ITEMSIZE)
+                  bytes_read=2.0 * routes * model_dim * isz,
+                  bytes_written=(tokens + routes) * model_dim * isz)
 
 
-def sparse_decode_cost(routes: int, tokens: int, model_dim: int) -> OpCost:
+def sparse_decode_cost(routes: int, tokens: int, model_dim: int,
+                       itemsize: int | None = None) -> OpCost:
     """fast_decode forward: per route one gate multiply and one add per
     element (``2*r*M`` FLOPs) into a zeroed ``(T, M)`` output."""
+    isz = itemsize if itemsize is not None else default_itemsize()
     return OpCost(flops=2.0 * routes * model_dim,
-                  bytes_read=(2.0 * routes * model_dim + routes) * ITEMSIZE,
-                  bytes_written=(tokens + routes) * model_dim * ITEMSIZE)
+                  bytes_read=(2.0 * routes * model_dim + routes) * isz,
+                  bytes_written=(tokens + routes) * model_dim * isz)
 
 
 def sparse_decode_backward_cost(routes: int, cells: int, gate_slots: int,
-                                model_dim: int) -> OpCost:
+                                model_dim: int,
+                                itemsize: int | None = None) -> OpCost:
     """fast_decode backward: grad_z scatter-add (``2*r*M``) plus the
     per-route gate-gradient dot products (``2*r*M``)."""
+    isz = itemsize if itemsize is not None else default_itemsize()
     return OpCost(
         flops=4.0 * routes * model_dim,
-        bytes_read=3.0 * routes * model_dim * ITEMSIZE,
-        bytes_written=((cells + routes) * model_dim + gate_slots) * ITEMSIZE)
+        bytes_read=3.0 * routes * model_dim * isz,
+        bytes_written=((cells + routes) * model_dim + gate_slots) * isz)
 
 
 def dense_encode_flops(tokens: int, num_experts: int, capacity: int,

@@ -15,6 +15,14 @@ Format: a single ``.npz`` file holding every array (parameters under
 plus one JSON metadata entry for the scalars, the RNG state, and the
 history lists.  NumPy's PCG64 state is a nested dict of (big) integers,
 which JSON represents exactly.
+
+Dtype contract (ISSUE 6): the checkpoint's arrays are authoritative.
+``.npz`` preserves each array's dtype exactly, and restore re-points
+live parameters/optimizer slots at a copy of the saved array whenever
+the dtypes differ instead of casting in place — so a float32 run
+restored into a float64-initialised model (or vice versa) resumes bit
+identical to the run that wrote the checkpoint.  The substrate dtype
+active at capture time is recorded in the metadata for provenance.
 """
 
 from __future__ import annotations
@@ -24,6 +32,8 @@ from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
+
+from repro.core import substrate as _substrate
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -129,16 +139,27 @@ def restore_training_state(model: Any, optimizer: Any,
             raise ValueError(
                 f"shape mismatch for {name!r}: model {p.data.shape} "
                 f"vs checkpoint {data.shape}")
-        np.copyto(p.data, data)
+        if p.data.dtype == data.dtype:
+            np.copyto(p.data, data)
+        else:
+            # The checkpoint's dtype wins: an in-place copyto would
+            # silently cast and break bit-identical resumption.
+            p.data = data.copy()
         p.grad = None
     if (len(optimizer._m) != len(ckpt.opt_m)
             or len(optimizer._v) != len(ckpt.opt_v)):
         raise ValueError("optimizer slot count mismatch restoring "
                          "checkpoint")
-    for slot, saved in zip(optimizer._m, ckpt.opt_m):
-        np.copyto(slot, saved)
-    for slot, saved in zip(optimizer._v, ckpt.opt_v):
-        np.copyto(slot, saved)
+    for i, saved in enumerate(ckpt.opt_m):
+        if optimizer._m[i].dtype == saved.dtype:
+            np.copyto(optimizer._m[i], saved)
+        else:
+            optimizer._m[i] = saved.copy()
+    for i, saved in enumerate(ckpt.opt_v):
+        if optimizer._v[i].dtype == saved.dtype:
+            np.copyto(optimizer._v[i], saved)
+        else:
+            optimizer._v[i] = saved.copy()
     optimizer._step = ckpt.opt_step
     rng.bit_generator.state = ckpt.rng_state
     if ckpt.failed_experts and hasattr(model, "moe_layers"):
@@ -171,6 +192,8 @@ def save_checkpoint(ckpt: TrainingCheckpoint, path: str) -> None:
         "failed_experts": {str(k): v
                            for k, v in ckpt.failed_experts.items()},
         "param_names": list(ckpt.params),
+        # Provenance only: the arrays themselves carry the dtypes.
+        "substrate_dtype": np.dtype(_substrate.default_dtype()).name,
     }
     arrays["meta"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8)

@@ -1,5 +1,13 @@
-"""Runtime planning: feature toggles -> MoE layer step times."""
+"""Runtime planning and execution: feature toggles -> MoE layer step
+times, plus the real multicore expert-parallel FFN executor."""
 
+from repro.runtime.executor import (
+    ExpertParallelExecutor,
+    ffn_backward_arrays,
+    ffn_forward_arrays,
+    get_executor,
+    shutdown_executor,
+)
 from repro.runtime.kernels import (
     dense_decode_time,
     dense_encode_time,
@@ -19,6 +27,11 @@ from repro.runtime.plan import (
 )
 
 __all__ = [
+    "ExpertParallelExecutor",
+    "ffn_backward_arrays",
+    "ffn_forward_arrays",
+    "get_executor",
+    "shutdown_executor",
     "dense_decode_time",
     "dense_encode_time",
     "encode_decode_time",

@@ -30,6 +30,7 @@ Observability (see DESIGN.md "Run registry"):
 from __future__ import annotations
 
 import os
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -39,6 +40,7 @@ from typing import Callable
 from repro.autograd.functional import cross_entropy
 from repro.autograd.optim import Adam, clip_grad_norm
 from repro.autograd.tensor import Tensor
+from repro.core.substrate import expert_parallelism
 from repro.nn.models import MoEClassifier
 from repro.nn.modules import Module
 from repro.obs import CAT_FAULT, CAT_CKPT, CAT_TRAIN, get_observer
@@ -105,7 +107,8 @@ def train_model(model: Module, train: TokenBatch, test: TokenBatch,
                 resume_from: str | None = None,
                 nonfinite_guard: bool = True,
                 step_hook: Callable[[int, Module], None] | None = None,
-                health=None
+                health=None,
+                expert_workers: int | None = None
                 ) -> TrainResult:
     """Train with Adam on cross-entropy + auxiliary load-balance loss.
 
@@ -129,6 +132,13 @@ def train_model(model: Module, train: TokenBatch, test: TokenBatch,
     active run, or ``REPRO_RUNS_DIR`` set) a default monitor is created
     when none is passed.  Its alerts accumulate in
     ``TrainResult.health_alerts``.
+
+    ``expert_workers`` (when not ``None``) runs the whole loop under
+    :func:`repro.core.substrate.expert_parallelism` — every MoE layer's
+    expert FFN executes on that many worker processes (0 = serial,
+    overriding an inherited ``REPRO_EXPERT_WORKERS``).  Worth it only
+    when the per-expert GEMMs are large enough to amortize the
+    shared-memory round trip; results are bitwise-identical either way.
     """
     auto_run = None
     if get_run() is None and env_runs_root() is not None:
@@ -140,17 +150,20 @@ def train_model(model: Module, train: TokenBatch, test: TokenBatch,
                     "resumed": resume_from is not None},
             substrate="functional")
         set_run(auto_run)
+    workers_ctx = (nullcontext() if expert_workers is None
+                   else expert_parallelism(expert_workers))
     try:
-        result = _train_loop(
-            model, train, test, steps=steps, batch_size=batch_size,
-            lr=lr, aux_weight=aux_weight, weight_decay=weight_decay,
-            grad_clip=grad_clip, seed=seed,
-            top_k_schedule=top_k_schedule,
-            capacity_schedule=capacity_schedule,
-            checkpoint_every=checkpoint_every,
-            checkpoint_dir=checkpoint_dir, resume_from=resume_from,
-            nonfinite_guard=nonfinite_guard, step_hook=step_hook,
-            health=health)
+        with workers_ctx:
+            result = _train_loop(
+                model, train, test, steps=steps, batch_size=batch_size,
+                lr=lr, aux_weight=aux_weight, weight_decay=weight_decay,
+                grad_clip=grad_clip, seed=seed,
+                top_k_schedule=top_k_schedule,
+                capacity_schedule=capacity_schedule,
+                checkpoint_every=checkpoint_every,
+                checkpoint_dir=checkpoint_dir, resume_from=resume_from,
+                nonfinite_guard=nonfinite_guard, step_hook=step_hook,
+                health=health)
         summary = {
             "steps": steps,
             "final_train_loss": result.final_train_loss,

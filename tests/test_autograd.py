@@ -21,6 +21,16 @@ from repro.autograd.optim import SGD, Adam, clip_grad_norm
 from repro.autograd.tensor import Tensor
 
 
+@pytest.fixture(autouse=True)
+def _float64_substrate():
+    """Numeric gradient checks stay in float64: central differences at
+    float32 lose half the mantissa to roundoff (see ISSUE 6 / DESIGN
+    dtype conventions)."""
+    from repro.core.substrate import substrate_dtype
+    with substrate_dtype(np.float64):
+        yield
+
+
 def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
     """Central-difference gradient of a scalar function of ``x``."""
     grad = np.zeros_like(x)

@@ -236,7 +236,7 @@ class TestProfileCommand:
                      "--json", str(summary)]) == 0
         out = capsys.readouterr().out
         assert "== profile ==" in out
-        assert "moe_dispatch" in out and "expert_gemm" in out
+        assert "moe_dispatch" in out and "expert_ffn" in out
         payload = json.loads(summary.read_text())
         assert payload["totals"]["flops"] > 0
         assert payload["peak_bytes"] > 0

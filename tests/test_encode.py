@@ -9,6 +9,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.moe.encode import (
+    DispatchBufferPool,
     dense_combine_weights,
     dense_decode,
     dense_dispatch_mask,
@@ -225,6 +226,17 @@ class TestZeroGateAndDropAgreement:
         np.testing.assert_array_equal(dec_fast[dropped],
                                       np.zeros((dropped.sum(), m), dtype))
 
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_combine_weights_follow_gate_dtype(self, dtype):
+        # Regression (ISSUE 6): dense_combine_weights allocated an
+        # untyped np.zeros, upcasting the whole dense reference path
+        # to float64 whenever the gates were float32.
+        _, _, crit = random_case()
+        crit.gates = crit.gates.astype(dtype)
+        assert dense_combine_weights(crit).dtype == dtype
+        x = np.ones((crit.num_tokens, 3), dtype=dtype)
+        assert dense_encode(x, crit).dtype == dtype
+
     def test_zero_gate_valid_slot_not_dispatched(self):
         # One token, one expert, gate exactly 0.0 on a valid slot: the
         # fast path must not scatter it (gates != 0 filter) and the
@@ -236,3 +248,73 @@ class TestZeroGateAndDropAgreement:
                                       np.zeros((1, 1, 3)))
         np.testing.assert_array_equal(dense_encode(x, crit),
                                       np.zeros((1, 1, 3)))
+
+
+class TestDispatchBufferPool:
+    """The fast kernels' zeroed-output reuse must never alias an array
+    that an earlier autograd graph still holds."""
+
+    def test_reuse_after_release(self):
+        pool = DispatchBufferPool()
+        a = pool.zeros((8, 4), np.float32)
+        a[:] = 7.0
+        first_id = id(a)
+        del a
+        b = pool.zeros((8, 4), np.float32)
+        assert id(b) == first_id          # same buffer came back
+        np.testing.assert_array_equal(b, np.zeros((8, 4), np.float32))
+        assert pool.hits == 1
+
+    def test_no_reuse_while_held(self):
+        pool = DispatchBufferPool()
+        a = pool.zeros((8, 4), np.float32)
+        b = pool.zeros((8, 4), np.float32)  # `a` is still alive
+        assert id(b) != id(a)
+        assert pool.hits == 0 and pool.misses == 2
+
+    def test_view_keeps_buffer_out_of_reuse(self):
+        # An autograd graph typically holds a reshape view, not the
+        # base array; the base's elevated refcount must still block
+        # reuse.
+        pool = DispatchBufferPool()
+        a = pool.zeros((8, 4), np.float32)
+        view = a.reshape(2, 4, 4)
+        del a
+        b = pool.zeros((8, 4), np.float32)
+        assert b.base is not view and b is not view.base
+        view[...] = 9.0
+        np.testing.assert_array_equal(b, np.zeros((8, 4), np.float32))
+
+    def test_dtype_and_shape_keyed_separately(self):
+        pool = DispatchBufferPool()
+        a32 = pool.zeros((4, 4), np.float32)
+        del a32
+        a64 = pool.zeros((4, 4), np.float64)
+        assert a64.dtype == np.float64
+        assert pool.hits == 0             # float32 slot not reused
+
+    def test_capacity_bounded(self):
+        pool = DispatchBufferPool(max_arrays_per_shape=2)
+        live = [pool.zeros((4, 2), np.float32) for _ in range(5)]
+        assert len(pool._free[((4, 2), "<f4")]) == 2
+        del live
+        pool.clear()
+        assert pool.hits == pool.misses == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            DispatchBufferPool(max_arrays_per_shape=0)
+
+    def test_fast_encode_steps_reuse_buffers(self):
+        # Two steps whose graphs are dropped in between: the second
+        # step's scatter outputs should be pool hits, and the results
+        # must be identical.
+        from repro.moe.encode import dispatch_buffer_pool
+
+        pool = dispatch_buffer_pool()
+        x, _, crit = random_case()
+        first = fast_encode(x, crit).copy()
+        baseline = pool.hits
+        out = fast_encode(x, crit)        # first buffer was released
+        assert pool.hits > baseline
+        np.testing.assert_array_equal(out, first)

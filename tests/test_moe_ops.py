@@ -12,6 +12,16 @@ from repro.autograd.tensor import Tensor
 from repro.moe.gating import softmax, top_k_routing
 
 
+@pytest.fixture(autouse=True)
+def _float64_substrate():
+    """Numeric gradient checks stay in float64: central differences at
+    float32 lose half the mantissa to roundoff (see ISSUE 6 / DESIGN
+    dtype conventions)."""
+    from repro.core.substrate import substrate_dtype
+    with substrate_dtype(np.float64):
+        yield
+
+
 def routing(t=12, e=4, k=2, capacity=None, seed=0):
     rng = np.random.default_rng(seed)
     probs = softmax(rng.normal(size=(t, e)))

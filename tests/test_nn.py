@@ -9,6 +9,16 @@ from repro.nn.modules import FFN, LayerNorm, Linear, Module, Sequential
 from repro.nn.moe import MoE
 
 
+@pytest.fixture(autouse=True)
+def _float64_substrate():
+    """Numeric gradient checks stay in float64: central differences at
+    float32 lose half the mantissa to roundoff (see ISSUE 6 / DESIGN
+    dtype conventions)."""
+    from repro.core.substrate import substrate_dtype
+    with substrate_dtype(np.float64):
+        yield
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(0)
@@ -114,6 +124,29 @@ class TestMoEModule:
             capacity=CapacityPolicy(4.0), activation="gelu")
         expected = moe_layer_forward(x, params)
         np.testing.assert_allclose(out.data, expected.output, atol=1e-9)
+
+    def test_failed_expert_path_keeps_substrate_dtype(self, rng):
+        # ISSUE 6: the degenerate-routing fallback used to hardcode
+        # float64 gates, mixing precisions mid-step once an expert was
+        # marked failed.  Under a float32 substrate every tensor the
+        # step produces must stay float32.
+        from repro.core.substrate import substrate_dtype
+
+        with substrate_dtype(np.float32):
+            moe = self.make(np.random.default_rng(0))
+            moe.fail_expert(1)
+            x = Tensor(np.random.default_rng(1).normal(size=(32, 8)),
+                       requires_grad=True)
+            out, l_aux = moe(x)
+            assert out.data.dtype == np.float32
+            assert l_aux.data.dtype == np.float32
+            stats = moe.last_routing_stats
+            assert stats is not None
+            (out.sum() + l_aux).backward()
+            assert x.grad.dtype == np.float32
+            for name, p in moe.named_parameters():
+                if p.grad is not None:
+                    assert p.grad.dtype == np.float32, name
 
     def test_dynamic_top_k_per_call(self, rng):
         moe = self.make(rng)

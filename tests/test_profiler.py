@@ -16,14 +16,16 @@ import pytest
 from repro.autograd.moe_ops import moe_combine, moe_dispatch
 from repro.autograd.tensor import Tensor
 from repro.moe.gating import RoutingCriteria, compute_locations
+from repro.core.substrate import substrate_dtype
 from repro.obs import profiler
 from repro.obs.profiler import (
-    ITEMSIZE,
     MOE_STAGES,
     AllocationLedger,
     Profiler,
     dense_encode_flops,
+    elementwise_cost,
     gemm_flops,
+    matmul_cost,
     profiling,
     routes_of,
     sparse_decode_cost,
@@ -44,17 +46,45 @@ def seeded_routing(t=64, e=8, k=2, capacity=16, seed=0):
 
 
 class TestGemmReference:
-    def test_forward_flops_are_2mnk(self):
+    # The byte ledger must be exact at both supported itemsizes — the
+    # float64 monoculture used to report 2x the true bytes under
+    # float32 (closed-form pin of both conventions).
+    @pytest.mark.parametrize("dtype,isz", [(np.float32, 4),
+                                           (np.float64, 8)])
+    def test_forward_flops_are_2mnk(self, dtype, isz):
         m, k, n = 16, 24, 32
         rng = np.random.default_rng(0)
-        with profiling() as prof:
+        with substrate_dtype(dtype), profiling() as prof:
             out = Tensor(rng.standard_normal((m, k))) @ \
                 Tensor(rng.standard_normal((k, n)))
             del out
         (rec,) = [r for r in prof.records if r.name == "matmul"]
         assert rec.cost.flops == gemm_flops(m, n, k) == 2 * m * n * k
-        assert rec.cost.bytes_read == (m * k + k * n) * ITEMSIZE
-        assert rec.cost.bytes_written == m * n * ITEMSIZE
+        assert rec.cost.bytes_read == (m * k + k * n) * isz
+        assert rec.cost.bytes_written == m * n * isz
+
+    @pytest.mark.parametrize("isz", [4, 8])
+    def test_cost_helpers_scale_with_itemsize(self, isz):
+        m, k, n = 8, 12, 10
+        fwd, bwd = matmul_cost((m, k), (k, n), (m, n), itemsize=isz)
+        assert fwd.bytes_read == (m * k + k * n) * isz
+        assert fwd.bytes_written == m * n * isz
+        assert bwd.bytes_read == (m * n + m * k + k * n) * isz
+        assert bwd.bytes_written == (m * k + k * n) * isz
+        e_fwd, e_bwd = elementwise_cost("gelu", 100, 1, itemsize=isz)
+        assert e_fwd.bytes_read == 100 * isz
+        assert e_fwd.bytes_written == 100 * isz
+        assert e_bwd.bytes_written == 100 * isz
+
+    def test_default_itemsize_follows_substrate(self):
+        with substrate_dtype(np.float32):
+            assert profiler.default_itemsize() == 4
+            assert matmul_cost((2, 2), (2, 2), (2, 2))[0].bytes_written \
+                == 4 * 4
+        with substrate_dtype(np.float64):
+            assert profiler.default_itemsize() == 8
+            assert matmul_cost((2, 2), (2, 2), (2, 2))[0].bytes_written \
+                == 4 * 8
 
     def test_backward_flops_are_4mnk(self):
         m, k, n = 8, 12, 10

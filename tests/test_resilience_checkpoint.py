@@ -314,3 +314,89 @@ class TestWindowedFinalMetrics:
         result = train_model(fresh_model(), train, test, steps=10,
                              batch_size=32, seed=0)
         assert 0.0 <= result.final_train_accuracy <= 1.0
+
+
+class TestDtypeRoundTrip:
+    """ISSUE 6: checkpoints are dtype-authoritative.  A float32 run's
+    restore must stay bit-identical float32 (no silent casting through
+    float64), and a checkpoint restores correctly into a model that was
+    initialised under the other substrate dtype."""
+
+    @staticmethod
+    def _state(dtype):
+        from repro.autograd.tensor import Tensor
+        from repro.core.substrate import substrate_dtype
+
+        with substrate_dtype(dtype):
+            model = fresh_model()
+            opt = Adam([p for p in model.parameters()
+                        if p.requires_grad])
+            # One real step so Adam moments are non-trivial.
+            rng = np.random.default_rng(5)
+            x = rng.normal(size=(16, 8))
+            logits, l_aux = model(Tensor(x))
+            (logits.sum() + l_aux).backward()
+            opt.step()
+            opt.zero_grad()
+        return model, opt
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_save_load_preserves_dtype_bitwise(self, dtype, tmp_path):
+        model, opt = self._state(dtype)
+        rng = np.random.default_rng(3)
+        ckpt = capture_training_state(model, opt, rng, step=1)
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(ckpt, path)
+        loaded = load_checkpoint(path)
+        for name, arr in ckpt.params.items():
+            assert arr.dtype == dtype
+            got = loaded.params[name]
+            assert got.dtype == dtype
+            assert got.tobytes() == arr.tobytes()  # bit identical
+        for a, b in zip(loaded.opt_m, ckpt.opt_m):
+            assert a.dtype == dtype
+            assert a.tobytes() == b.tobytes()
+
+    @pytest.mark.parametrize("save_dtype,init_dtype",
+                             [(np.float32, np.float64),
+                              (np.float64, np.float32)])
+    def test_restore_is_dtype_authoritative(self, save_dtype,
+                                            init_dtype, tmp_path):
+        from repro.core.substrate import substrate_dtype
+
+        model, opt = self._state(save_dtype)
+        rng = np.random.default_rng(3)
+        ckpt = capture_training_state(model, opt, rng, step=1)
+
+        with substrate_dtype(init_dtype):
+            other = fresh_model(seed=9)
+            other_opt = Adam([p for p in other.parameters()
+                              if p.requires_grad])
+        restore_training_state(other, other_opt,
+                               np.random.default_rng(0), ckpt)
+        for (name, p), (_, src) in zip(other.named_parameters(),
+                                       model.named_parameters()):
+            assert p.data.dtype == save_dtype, name
+            assert p.data.tobytes() == src.data.tobytes()
+        for slot, saved in zip(other_opt._m, ckpt.opt_m):
+            assert slot.dtype == save_dtype
+            assert slot.tobytes() == saved.tobytes()
+        for slot, saved in zip(other_opt._v, ckpt.opt_v):
+            assert slot.dtype == save_dtype
+
+    def test_meta_records_substrate_dtype(self, tmp_path):
+        import json as _json
+
+        from repro.core.substrate import substrate_dtype
+
+        model, opt = self._state(np.float32)
+        path = str(tmp_path / "ck.npz")
+        # Meta records whatever dtype is active *at save time*.
+        with substrate_dtype(np.float32):
+            ckpt = capture_training_state(model, opt,
+                                          np.random.default_rng(0),
+                                          step=0)
+            save_checkpoint(ckpt, path)
+        with np.load(path, allow_pickle=False) as data:
+            meta = _json.loads(bytes(data["meta"]).decode("utf-8"))
+        assert meta["substrate_dtype"] == "float32"
