@@ -460,6 +460,57 @@ def _cmd_chaos(seed: int, steps: int, num_gpus: int, smoke: bool,
         print(f"[obs] wrote fault/recovery trace events to {trace_path}")
 
 
+def _cmd_scenario(name: str | None, list_only: bool, run_all: bool,
+                  fast: bool, seed: int | None,
+                  checkpoint_dir: str | None) -> int:
+    """Run named chaos scenarios and gate on their SLO reports.
+
+    Exit status is nonzero when any scenario fails an SLO assertion,
+    so CI can gate on ``repro scenario --all`` directly.
+    """
+    from dataclasses import replace
+
+    from repro.scenarios import (
+        SCENARIOS,
+        emit_scenarios,
+        get_scenario,
+        render_results,
+        run_scenario,
+        scenario_names,
+    )
+
+    if list_only:
+        for sc_name in scenario_names():
+            sc = SCENARIOS[sc_name]
+            print(f"{sc_name:24s} {sc.title}")
+            print(f"{'':24s} {sc.describe()}")
+        return 0
+    if run_all:
+        targets = [SCENARIOS[n] for n in scenario_names()]
+    elif name is not None:
+        targets = [get_scenario(name)]
+    else:
+        raise SystemExit(
+            "repro scenario: give a scenario name, --all, or --list")
+    if seed is not None:
+        targets = [replace(sc, seed=seed) for sc in targets]
+
+    results = []
+    for sc in targets:
+        result = run_scenario(sc, fast=fast,
+                              checkpoint_dir=checkpoint_dir)
+        results.append(result)
+        print(result.describe())
+        print()
+    print(render_results(results))
+    if run_all:
+        # The combined BENCH_scenarios.json only makes sense for the
+        # full batch — a single-scenario record would trip the
+        # regression gate's missing-metric check.
+        emit_scenarios(results, fast=fast, verbose=True)
+    return 0 if all(r.passed for r in results) else 1
+
+
 def _profile_run_ctx(kind: str, config: dict):
     """An active run-registry context when ``REPRO_RUNS_DIR`` is set,
     else a no-op — profiling shouldn't litter run directories unless
@@ -735,6 +786,25 @@ def main(argv: list[str] | None = None) -> int:
                            help="keep checkpoints here (default: tempdir)")
     chaos_cmd.add_argument("--trace", default=None,
                            help="dump fault/recovery events as JSONL")
+    scenario_cmd = sub.add_parser(
+        "scenario",
+        help="seeded chaos scenarios with pass/fail SLO gates")
+    scenario_cmd.add_argument("name", nargs="?", default=None,
+                              help="scenario name (see --list)")
+    scenario_cmd.add_argument("--list", action="store_true",
+                              dest="list_only",
+                              help="list the named scenarios")
+    scenario_cmd.add_argument("--all", action="store_true",
+                              dest="run_all",
+                              help="run every named scenario and emit "
+                                   "BENCH_scenarios.json")
+    scenario_cmd.add_argument("--fast", action="store_true",
+                              help="shortened step counts (CI smoke)")
+    scenario_cmd.add_argument("--seed", type=int, default=None,
+                              help="override the committed seed")
+    scenario_cmd.add_argument("--checkpoint-dir", default=None,
+                              help="keep checkpoints here "
+                                   "(default: tempdir)")
     runs_cmd = sub.add_parser(
         "runs", help="query the persistent run registry")
     runs_sub = runs_cmd.add_subparsers(dest="runs_command",
@@ -823,6 +893,13 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "chaos":
         _cmd_chaos(args.seed, args.steps, args.gpus, args.smoke,
                    args.checkpoint_dir, args.trace)
+    elif args.command == "scenario":
+        try:
+            return _cmd_scenario(args.name, args.list_only,
+                                 args.run_all, args.fast, args.seed,
+                                 args.checkpoint_dir)
+        except KeyError as exc:
+            raise SystemExit(f"repro scenario: {exc.args[0]}") from exc
     elif args.command == "runs":
         try:
             return _cmd_runs(args)

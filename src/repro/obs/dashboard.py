@@ -42,12 +42,13 @@ _RAMP = ["#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec",
 _SEVERITY = {"warn": ("warning", "!"), "critical": ("critical", "✖")}
 
 _TIMELINE_KINDS = ("fault", "recovery", "strategy_switch",
-                   "ckpt_saved", "ckpt_restored")
+                   "ckpt_saved", "ckpt_restored", "scenario")
 _TIMELINE_GLYPHS = {"fault": ("critical", "✖"),
                     "recovery": ("good", "✓"),
                     "strategy_switch": ("warning", "⇄"),
                     "ckpt_saved": ("good", "▽"),
-                    "ckpt_restored": ("warning", "△")}
+                    "ckpt_restored": ("warning", "△"),
+                    "scenario": ("warning", "◆")}
 
 _CSS = """
 :root { color-scheme: light dark; }
@@ -157,6 +158,8 @@ class RunSeries:
         self.alerts: list[dict] = []
         self.timeline: list[dict] = []
         self.evals: list[dict] = []
+        # Scenario-engine SLO assertions ("slo_check" events).
+        self.slo_checks: list[dict] = []
         # Latest op-level profiler summary ("profile" event, last wins).
         self.profile: dict | None = None
 
@@ -201,6 +204,8 @@ def build_series(events: Iterable[Mapping]) -> RunSeries:
             series.evals.append(dict(data))
         elif kind == "profile":
             series.profile = dict(data)
+        elif kind == "slo_check":
+            series.slo_checks.append(dict(data))
     return series
 
 
@@ -395,6 +400,28 @@ def _alerts_table(alerts: Sequence[Mapping]) -> str:
             f'<tbody>{"".join(rows)}</tbody></table>')
 
 
+def _slo_table(checks: Sequence[Mapping]) -> str:
+    if not checks:
+        return '<p class="empty">no SLO checks recorded</p>'
+    rows = []
+    for c in checks:
+        passed = bool(c.get("passed"))
+        token, glyph = (("good", "✓") if passed
+                        else ("critical", "✖"))
+        bound = (f'{c.get("op", "<=")} '
+                 f'{_fmt(float(c.get("bound", 0.0)))}')
+        kind = "wall-clock" if c.get("measured") else "model"
+        rows.append(
+            f'<tr><td>{_esc(c.get("name", "?"))}</td>'
+            f'<td>{_esc(_fmt(float(c.get("value", 0.0))))}</td>'
+            f'<td>{_esc(bound)}</td><td>{_esc(kind)}</td>'
+            f'<td>{_status_cell(token, glyph, "pass" if passed else "fail")}'
+            f'</td></tr>')
+    return ('<table><thead><tr><th>SLO</th><th>value</th>'
+            '<th>bound</th><th>kind</th><th>verdict</th></tr></thead>'
+            f'<tbody>{"".join(rows)}</tbody></table>')
+
+
 def _timeline_table(timeline: Sequence[Mapping]) -> str:
     if not timeline:
         return ('<p class="empty">no fault / recovery / strategy '
@@ -472,6 +499,13 @@ def render_dashboard(store: RunStore, token: str = "latest") -> str:
         if "accuracy" in final_eval:
             tiles.insert(2, _tile("eval accuracy",
                                   _fmt(final_eval["accuracy"])))
+    if series.slo_checks:
+        failed = sum(1 for c in series.slo_checks
+                     if not c.get("passed"))
+        tiles.append(_tile(
+            "SLO checks", f"{len(series.slo_checks) - failed}"
+                          f"/{len(series.slo_checks)}",
+            note=f"{failed} failed" if failed else "all pass"))
 
     panels = [_panel("training loss",
                      _line_chart(series.steps, series.loss,
@@ -544,6 +578,9 @@ def render_dashboard(store: RunStore, token: str = "latest") -> str:
         "".join(panels),
         "<h2>fault / strategy timeline</h2>",
         _timeline_table(series.timeline),
+        *(["<h2>scenario SLO report</h2>",
+           _slo_table(series.slo_checks)]
+          if series.slo_checks else []),
         "<h2>health alerts</h2>",
         _alerts_table(series.alerts),
         "<details><summary>step table (text view of the charts)"

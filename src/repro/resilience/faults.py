@@ -188,16 +188,39 @@ class FaultPlan:
                num_op_failures: int = 1,
                straggler_factor: float = 0.3,
                link_factor: float = 0.5,
-               timeout_fraction: float = 0.05) -> "FaultPlan":
+               timeout_fraction: float = 0.05,
+               num_expert_failures: int = 0,
+               num_experts: int = 8,
+               num_layers: int = 1,
+               max_step: int = 30) -> "FaultPlan":
         """Draw a reproducible plan over ``[0, horizon)`` seconds.
 
         The same ``(seed, parameters)`` always yields the same plan, so
-        chaos scenarios can be replayed and bisected.
+        chaos scenarios can be replayed and bisected.  The default
+        draws are simulator-side only; ``num_expert_failures > 0``
+        additionally draws functional-substrate
+        :class:`ExpertFailure` events — distinct victims (never the
+        whole population, so gating always has survivors), each at a
+        uniform step in ``[0, max_step)`` and layer in
+        ``[0, num_layers)``.  The expert draws come last, so plans
+        with the default parameters are unchanged for a given seed.
         """
         if num_gpus < 1:
             raise ValueError(f"num_gpus must be >= 1, got {num_gpus}")
         if horizon <= 0:
             raise ValueError(f"horizon must be > 0, got {horizon}")
+        if num_expert_failures < 0:
+            raise ValueError(
+                f"num_expert_failures must be >= 0, "
+                f"got {num_expert_failures}")
+        if num_expert_failures > 0:
+            if num_expert_failures >= num_experts:
+                raise ValueError(
+                    f"num_expert_failures must leave a survivor: "
+                    f"{num_expert_failures} >= {num_experts} experts")
+            if num_layers < 1 or max_step < 1:
+                raise ValueError(
+                    "num_layers and max_step must be >= 1")
         rng = np.random.default_rng(seed)
         stragglers = []
         for _ in range(num_stragglers):
@@ -220,8 +243,21 @@ class FaultPlan:
                 time=float(rng.uniform(horizon * 0.1, horizon * 0.9)),
                 gpu=int(rng.integers(0, num_gpus)),
                 timeout=horizon * timeout_fraction))
+        expert_failures = []
+        if num_expert_failures > 0:
+            # Victims drawn without replacement: no layer can lose the
+            # same expert twice, and some expert always survives.
+            victims = rng.permutation(num_experts)[:num_expert_failures]
+            for expert in victims:
+                expert_failures.append(ExpertFailure(
+                    step=int(rng.integers(0, max_step)),
+                    layer=int(rng.integers(0, num_layers)),
+                    expert=int(expert)))
+            expert_failures.sort(key=lambda f: (f.step, f.layer,
+                                                f.expert))
         return FaultPlan(stragglers=stragglers, link_degradations=links,
-                         op_failures=failures, seed=seed)
+                         op_failures=failures,
+                         expert_failures=expert_failures, seed=seed)
 
     def describe(self) -> str:
         parts = [f"{len(self.stragglers)} straggler(s)",

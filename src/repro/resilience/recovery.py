@@ -48,8 +48,9 @@ class RecoveryDecision:
     config: MoEConfig         # re-formed expert-parallel configuration
     topology: ClusterTopology
     cost: StrategyCost        # best strategy on the degraded cluster
-    baseline_cost: StrategyCost  # best strategy on the healthy cluster
+    baseline_cost: StrategyCost  # best strategy just before the loss
     node_asymmetric: bool     # some node left partially populated
+    link_degradation: float = 1.0  # fabric derate active at the loss
 
     @property
     def dropped_healthy(self) -> int:
@@ -58,7 +59,11 @@ class RecoveryDecision:
 
     @property
     def slowdown(self) -> float:
-        """Iteration-time ratio vs. the fault-free selection."""
+        """Iteration-time ratio vs. the selection *just before* the
+        rank loss.  Under a compound fault (rank loss while a link is
+        already degraded) the baseline already includes the link
+        derate, so this isolates what the lost rank cost — the two
+        faults are not conflated."""
         if self.baseline_cost.total_time <= 0:
             return 1.0
         return self.cost.total_time / self.baseline_cost.total_time
@@ -92,11 +97,19 @@ def reselect_strategy(cfg: MoEConfig, topo: ClusterTopology,
     """Re-pick the parallelism strategy after ``failed_ranks`` died.
 
     ``link_degradation`` < 1 additionally derates the inter-node
-    fabric (a degraded-link fault coinciding with the failure).
+    fabric (a degraded-link fault coinciding with the failure).  The
+    derate applies to the *baseline* selection too — the link was
+    already slow when the rank died — so ``RecoveryDecision.slowdown``
+    prices only the rank loss, and the re-selected strategy is checked
+    feasible on the doubly-degraded topology.
     Raises :class:`RuntimeError` when the survivors cannot serve every
     global expert — that scenario needs a checkpoint restore, not a
     strategy switch.
     """
+    if not 0.0 < link_degradation <= 1.0:
+        raise ValueError(
+            f"link_degradation must be in (0, 1], "
+            f"got {link_degradation}")
     failed = tuple(sorted(set(int(r) for r in failed_ranks)))
     for rank in failed:
         topo._check_rank(rank)
@@ -122,21 +135,26 @@ def reselect_strategy(cfg: MoEConfig, topo: ClusterTopology,
 
     new_cfg = cfg.with_(world_size=surviving,
                         experts_per_gpu=num_experts / surviving)
-    new_topo = topo.with_num_gpus(surviving)
+    # The pre-fault cluster already carries any active link derate:
+    # that is the topology the baseline selection ran on, and the
+    # survivors inherit the same slow fabric.
+    pre_fault_topo = topo
     if link_degradation < 1.0:
-        new_topo = new_topo.with_degraded_inter_link(link_degradation)
+        pre_fault_topo = topo.with_degraded_inter_link(link_degradation)
+    new_topo = pre_fault_topo.with_num_gpus(surviving)
     asymmetric = _nodes_asymmetric(topo, failed)
     candidates = feasible_a2a_algorithms(new_topo,
                                          symmetric_nodes=not asymmetric)
 
-    baseline = best_strategy(cfg, topo, training=training)
+    baseline = best_strategy(cfg, pre_fault_topo, training=training)
     cost = best_strategy(new_cfg, new_topo, training=training,
                          a2a_candidates=candidates)
 
     decision = RecoveryDecision(
         failed_ranks=failed, healthy_world=healthy,
         surviving_world=surviving, config=new_cfg, topology=new_topo,
-        cost=cost, baseline_cost=baseline, node_asymmetric=asymmetric)
+        cost=cost, baseline_cost=baseline, node_asymmetric=asymmetric,
+        link_degradation=link_degradation)
 
     ob = get_observer()
     if ob is not None:

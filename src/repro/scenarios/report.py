@@ -1,0 +1,68 @@
+"""Aggregate scenario results into ``BENCH_scenarios.json``.
+
+All scenarios of one ``repro scenario --all`` invocation land in a
+single schema-versioned artifact so ``repro regress`` gates every
+SLO verdict and every deterministic price in one place.  Metric names
+are namespaced ``<scenario>.<metric>``; wall-clock metrics keep
+``kind="measured"`` and are exempt from the gate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.bench.harness import Table
+from repro.bench.report import BenchResult, Metric
+from repro.bench.report import emit as bench_emit
+from repro.scenarios.engine import ScenarioResult
+
+__all__ = ["SCENARIOS_ARTIFACT", "scenario_metrics", "emit_scenarios",
+           "render_results"]
+
+SCENARIOS_ARTIFACT = "scenarios"
+
+
+def scenario_metrics(results: Iterable[ScenarioResult]) -> list[Metric]:
+    """Namespaced metrics of every scenario, in scenario-name order."""
+    metrics: list[Metric] = []
+    for res in sorted(results, key=lambda r: r.scenario.name):
+        for m in res.metrics:
+            metrics.append(Metric(
+                name=f"{res.scenario.name}.{m.name}", value=m.value,
+                unit=m.unit, kind=m.kind,
+                higher_is_better=m.higher_is_better,
+                tolerance=m.tolerance))
+    return metrics
+
+
+def emit_scenarios(results: Iterable[ScenarioResult], *,
+                   fast: bool,
+                   directory=None,
+                   verbose: bool = False) -> BenchResult:
+    """Write (when configured) the combined scenario bench record."""
+    results = list(results)
+    config = {
+        "mode": "fast" if fast else "full",
+        "scenarios": sorted(r.scenario.name for r in results),
+        "seeds": {r.scenario.name: r.scenario.seed for r in results},
+    }
+    return bench_emit(
+        SCENARIOS_ARTIFACT,
+        "Chaos scenarios: SLO gates over seeded fault timelines",
+        scenario_metrics(results),
+        config=config, directory=directory, verbose=verbose)
+
+
+def render_results(results: Iterable[ScenarioResult]) -> str:
+    """Human summary table of a scenario batch."""
+    table = Table(
+        "scenario SLO report",
+        ["scenario", "seed", "steps", "events", "checks", "failed",
+         "verdict"])
+    for res in sorted(results, key=lambda r: r.scenario.name):
+        sc = res.scenario
+        failed = sum(1 for c in res.checks if not c.passed)
+        table.add_row(sc.name, sc.seed, sc.steps, len(sc.events),
+                      len(res.checks), failed,
+                      "PASS" if res.passed else "FAIL")
+    return table.render()

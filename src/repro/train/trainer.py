@@ -32,6 +32,7 @@ from __future__ import annotations
 import os
 from contextlib import nullcontext
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -76,6 +77,10 @@ class TrainResult:
     health_alerts: list = field(default_factory=list)
     # Run directory id when a run recorded this training, else None.
     run_id: str | None = None
+    # Wall-clock seconds per step *executed by this call* (restored
+    # history has no walls), keyed by step index; skipped steps count
+    # too.  The scenario engine's step-time SLOs read these.
+    step_walls: dict[int, float] = field(default_factory=dict)
 
 
 def _accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
@@ -285,6 +290,7 @@ def _train_loop(model: Module, train: TokenBatch, test: TokenBatch, *,
             ob.begin_step(step)
         if run is not None:
             run.begin_step(step)
+        wall_start = perf_counter()
         if step_hook is not None:
             step_hook(step, model)
         with _span("step", CAT_TRAIN):
@@ -315,11 +321,13 @@ def _train_loop(model: Module, train: TokenBatch, test: TokenBatch, *,
                         "kind": "nonfinite_step", "step": step})
                 if run is not None:
                     run.emit("step_skipped", data={"step": step})
+                result.step_walls[step] = perf_counter() - wall_start
                 continue
             with _span("optimizer", CAT_TRAIN):
                 gnorm = clip_grad_norm(params, grad_clip)
                 optimizer.step()
 
+        result.step_walls[step] = perf_counter() - wall_start
         loss_val = float(loss.data)
         acc = _accuracy(logits.data, yb)
         result.losses.append(loss_val)

@@ -239,6 +239,76 @@ class TestRenderDashboard:
             render_dashboard(RunStore(tmp_path), "nope")
 
 
+def populate_scenario_run(root, run_id="s1", all_pass=False):
+    """A run shaped like the scenario engine's output stream."""
+    writer = RunWriter.create(root=root, run_id=run_id, seed=11,
+                              config={"kind": "scenario",
+                                      "name": "rank_loss_deadline"},
+                              created_at=3.0)
+    writer.emit("scenario", step=0, data={
+        "kind": "begin", "name": "rank_loss_deadline", "seed": 11})
+    for step in range(4):
+        writer.begin_step(step)
+        writer.emit("step", data={"loss": 2.0 - 0.1 * step,
+                                  "accuracy": 0.4, "grad_norm": 1.0})
+    writer.emit("fault", step=2, data={"kind": "rank_failure",
+                                       "ranks": [3]})
+    writer.emit("recovery", step=2, data={
+        "kind": "strategy_reselection", "strategy": "ep",
+        "a2a": "linear", "world": 8, "slowdown": 1.2})
+    writer.emit("scenario", step=3, data={
+        "kind": "elastic_resize", "old_world": 16, "new_world": 32})
+    writer.emit("slo_check", step=-1, data={
+        "name": "recovery_deadline_0", "value": 0.02, "bound": 20.0,
+        "op": "<=", "measured": True, "passed": True})
+    writer.emit("slo_check", step=-1, data={
+        "name": "final_loss_max", "value": 3.5, "bound": 3.0,
+        "op": "<=", "measured": False,
+        "passed": all_pass})
+    writer.finalize(summary={"scenario": "rank_loss_deadline",
+                             "passed": all_pass})
+    return writer
+
+
+class TestScenarioPanels:
+    def test_slo_checks_folded_into_series(self, tmp_path):
+        populate_scenario_run(tmp_path)
+        series = build_series(RunStore(tmp_path).events("s1"))
+        assert [c["name"] for c in series.slo_checks] == [
+            "recovery_deadline_0", "final_loss_max"]
+        # "scenario" events join the fault/recovery timeline
+        # (including the step-0 begin marker).
+        kinds = [t["kind"] for t in series.timeline]
+        assert kinds == ["scenario", "fault", "recovery", "scenario"]
+        assert series.timeline[0]["what"] == "begin"
+        assert series.timeline[-1]["what"] == "elastic_resize"
+
+    def test_slo_table_renders_verdicts(self, tmp_path):
+        populate_scenario_run(tmp_path)
+        doc = render_dashboard(RunStore(tmp_path), "s1")
+        check_well_formed(doc)
+        assert "scenario SLO report" in doc
+        assert "recovery_deadline_0" in doc
+        assert "final_loss_max" in doc
+        # one passing wall-clock check, one failing model check
+        assert "wall-clock" in doc
+        assert "pass" in doc and "fail" in doc
+        # the tile summarizes the verdict count
+        assert "SLO checks" in doc and "1/2" in doc
+        assert "1 failed" in doc
+
+    def test_all_pass_tile(self, tmp_path):
+        populate_scenario_run(tmp_path, run_id="s2", all_pass=True)
+        doc = render_dashboard(RunStore(tmp_path), "s2")
+        assert "2/2" in doc and "all pass" in doc
+
+    def test_run_without_slo_checks_omits_panel(self, tmp_path):
+        populate_run(tmp_path)
+        doc = render_dashboard(RunStore(tmp_path), "r1")
+        assert "scenario SLO report" not in doc
+        assert "SLO checks" not in doc
+
+
 class TestWriteDashboard:
     def test_writes_file(self, tmp_path):
         populate_run(tmp_path / "runs")

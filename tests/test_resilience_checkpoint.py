@@ -400,3 +400,88 @@ class TestDtypeRoundTrip:
         with np.load(path, allow_pickle=False) as data:
             meta = _json.loads(bytes(data["meta"]).decode("utf-8"))
         assert meta["substrate_dtype"] == "float32"
+
+
+class TestResumeAcrossSubstrateConfig:
+    """ISSUE 7 satellite: a checkpoint is portable across substrate
+    *configuration* changes — the restored process may run with a
+    different expert-worker count or a different ambient dtype, and
+    the saved state stays authoritative."""
+
+    def test_resume_under_expert_workers_is_bit_identical(
+            self, splits, tmp_path):
+        """Serial save -> multicore resume must replay the exact same
+        trajectory (the executor is bitwise-equal to serial, so the
+        worker count is not part of the checkpoint contract)."""
+        from repro.runtime.executor import shutdown_executor
+
+        train, test = splits
+        straight = train_model(fresh_model(), train, test, steps=16,
+                               batch_size=64, seed=0)
+        ckpt_dir = str(tmp_path / "ckpts")
+        first = train_model(fresh_model(), train, test, steps=8,
+                            batch_size=64, seed=0,
+                            checkpoint_every=8,
+                            checkpoint_dir=ckpt_dir)
+        try:
+            resumed = train_model(
+                fresh_model(), train, test, steps=16, batch_size=64,
+                seed=0, resume_from=first.checkpoint_paths[0],
+                expert_workers=2)
+        finally:
+            shutdown_executor()
+        assert resumed.losses == straight.losses
+        assert resumed.eval_accuracy == straight.eval_accuracy
+
+    def test_float32_ckpt_resumed_under_float64_process(
+            self, splits, tmp_path):
+        """A float32 checkpoint restored in a float64-ambient process
+        keeps its saved dtype end to end: the resumed run trains on
+        float32 parameters and never silently widens them."""
+        from repro.core.substrate import substrate_dtype
+
+        train, test = splits
+        ckpt_dir = str(tmp_path / "ckpts")
+        with substrate_dtype(np.float32):
+            first = train_model(fresh_model(), train, test, steps=8,
+                                batch_size=64, seed=0,
+                                checkpoint_every=8,
+                                checkpoint_dir=ckpt_dir)
+        ckpt = load_checkpoint(first.checkpoint_paths[0])
+        assert all(a.dtype == np.float32
+                   for a in ckpt.params.values())
+
+        with substrate_dtype(np.float64):
+            model = fresh_model()
+            resumed = train_model(
+                model, train, test, steps=16, batch_size=64, seed=0,
+                resume_from=first.checkpoint_paths[0])
+        # The restore overwrote the float64 init with the saved
+        # float32 state, and training kept it there.
+        assert all(p.data.dtype == np.float32
+                   for _, p in model.named_parameters())
+        assert np.isfinite(resumed.losses).all()
+        assert len(resumed.losses) == 16
+
+    def test_resumed_state_matches_ckpt_bitwise_after_zero_steps(
+            self, splits, tmp_path):
+        """Restore-then-first-step determinism: the restored params of
+        a cross-dtype-process resume are byte-equal to the file."""
+        from repro.core.substrate import substrate_dtype
+
+        train, test = splits
+        ckpt_dir = str(tmp_path / "ckpts")
+        with substrate_dtype(np.float32):
+            first = train_model(fresh_model(), train, test, steps=8,
+                                batch_size=64, seed=0,
+                                checkpoint_every=8,
+                                checkpoint_dir=ckpt_dir)
+        ckpt = load_checkpoint(first.checkpoint_paths[0])
+        with substrate_dtype(np.float64):
+            model = fresh_model(seed=9)
+            opt = Adam([p for p in model.parameters()
+                        if p.requires_grad])
+        restore_training_state(model, opt, np.random.default_rng(0),
+                               ckpt)
+        for name, p in model.named_parameters():
+            assert p.data.tobytes() == ckpt.params[name].tobytes()

@@ -125,6 +125,66 @@ class TestReselectStrategy:
             obs.disable()
 
 
+class TestCompoundFault:
+    """Rank loss while the inter-node fabric is already degraded
+    (a brownout) — the scenario engine's compound-fault path."""
+
+    def test_reselection_feasible_on_doubly_degraded_topology(self):
+        cfg, topo = make_cfg(world=32, experts=16), ndv4_topology(32)
+        decision = reselect_strategy(cfg, topo, [3],
+                                     link_degradation=0.25)
+        assert decision.link_degradation == 0.25
+        # The decision's topology carries the derated fabric...
+        assert decision.topology.inter_link.bandwidth == pytest.approx(
+            topo.inter_link.bandwidth * 0.25)
+        # ...and the chosen algorithm is feasible on it given the
+        # post-loss node asymmetry.
+        candidates = feasible_a2a_algorithms(
+            decision.topology,
+            symmetric_nodes=not decision.node_asymmetric)
+        assert decision.cost.a2a_algorithm in candidates
+        assert decision.node_asymmetric
+        assert decision.cost.a2a_algorithm is A2AAlgorithm.LINEAR
+        assert np.isfinite(decision.cost.total_time)
+
+    def test_baseline_includes_the_preexisting_derate(self):
+        cfg, topo = make_cfg(world=32, experts=16), ndv4_topology(32)
+        clean = reselect_strategy(cfg, topo, [3])
+        compound = reselect_strategy(cfg, topo, [3],
+                                     link_degradation=0.25)
+        # The link was already slow when the rank died, so the
+        # baseline selection must be priced on the derated fabric.
+        assert (compound.baseline_cost.total_time
+                > clean.baseline_cost.total_time)
+
+    def test_slowdown_isolates_the_rank_loss(self):
+        """slowdown must not conflate the two faults: it prices the
+        lost rank against a baseline that already pays the brownout."""
+        cfg, topo = make_cfg(world=32, experts=16), ndv4_topology(32)
+        clean = reselect_strategy(cfg, topo, [3])
+        compound = reselect_strategy(cfg, topo, [3],
+                                     link_degradation=0.25)
+        conflated = (compound.cost.total_time
+                     / clean.baseline_cost.total_time)
+        assert compound.slowdown < conflated
+        assert compound.slowdown > 0
+        assert "x iteration time" in compound.describe()
+
+    def test_link_degradation_validation(self):
+        cfg, topo = make_cfg(), ndv4_topology(16)
+        with pytest.raises(ValueError, match="link_degradation"):
+            reselect_strategy(cfg, topo, [3], link_degradation=0.0)
+        with pytest.raises(ValueError, match="link_degradation"):
+            reselect_strategy(cfg, topo, [3], link_degradation=1.5)
+
+    def test_no_derate_default_unchanged(self):
+        cfg, topo = make_cfg(), ndv4_topology(16)
+        decision = reselect_strategy(cfg, topo, [3])
+        assert decision.link_degradation == 1.0
+        assert decision.topology.inter_link.bandwidth == pytest.approx(
+            topo.inter_link.bandwidth)
+
+
 class TestChaosEndToEnd:
     @pytest.fixture(scope="class")
     def chaos(self, tmp_path_factory):

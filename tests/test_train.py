@@ -144,6 +144,17 @@ class TestTraining:
         with pytest.raises(ValueError):
             train_model(model, train, test, steps=0)
 
+    def test_step_walls_recorded(self, splits):
+        """Every step executed by this call gets a wall-clock entry
+        (the scenario engine's step-time-ratio SLO reads these)."""
+        train, test = splits
+        model = MoEClassifier(8, 16, 32, 4, num_blocks=2,
+                              num_experts=8,
+                              rng=np.random.default_rng(0), top_k=2)
+        result = train_model(model, train, test, steps=6, seed=0)
+        assert sorted(result.step_walls) == list(range(6))
+        assert all(w >= 0 for w in result.step_walls.values())
+
     def test_evaluate_range(self, splits):
         train, test = splits
         model = DenseClassifier(8, 16, 32, 4, num_blocks=1,
