@@ -11,6 +11,7 @@ Usage::
     python -m repro analyze fig22        # critical path + attribution
     python -m repro report               # aggregate BENCH_*.json records
     python -m repro regress              # compare against baselines
+    python -m repro serve --all --fast   # serving workloads + SLO gates
     python -m repro runs list            # persisted run registry
     python -m repro runs diff A B        # metric deltas between runs
     python -m repro dashboard latest     # static HTML report of a run
@@ -279,7 +280,8 @@ def _default_baselines_dir() -> str:
 
 
 def _cmd_obs(trace_path: str, jsonl_path: str | None, steps: int,
-             metrics_json: str | None = None) -> None:
+             metrics_json: str | None = None,
+             prometheus_path: str | None = None) -> None:
     """Instrumented end-to-end demo of the ``repro.obs`` subsystem.
 
     Runs (1) a few real training steps of a small MoE classifier so the
@@ -367,6 +369,12 @@ def _cmd_obs(trace_path: str, jsonl_path: str | None, steps: int,
                 json.dumps(ob.registry.snapshot(), indent=1,
                            sort_keys=True) + "\n")
             print(f"[obs] wrote metrics snapshot to {metrics_json}")
+        if prometheus_path:
+            from repro.obs.prometheus import render_prometheus
+            Path(prometheus_path).write_text(
+                render_prometheus(ob.registry))
+            print(f"[obs] wrote prometheus exposition to "
+                  f"{prometheus_path}")
     finally:
         obs.disable()
 
@@ -410,6 +418,19 @@ def _cmd_runs(args) -> int:
             print(f"  alert @ step {event.get('step')}: "
                   f"[{d.get('severity')}] {d.get('kind')} — "
                   f"{d.get('message')}")
+        serve_keys = {k: v for k, v in manifest.summary.items()
+                      if k.startswith("serve.")}
+        if serve_keys:
+            print("serving summary:")
+            for key in sorted(serve_keys):
+                print(f"  {key:24s} {serve_keys[key]}")
+            for event in store.iter_events(run_id, kind="slo_check"):
+                d = event.get("data", {})
+                verdict = "PASS" if d.get("passed") else "FAIL"
+                tag = " (wall-clock)" if d.get("measured") else ""
+                print(f"  [{verdict}] {d.get('name')}: "
+                      f"{d.get('value'):.6g} {d.get('op')} "
+                      f"{d.get('bound'):.6g}{tag}")
     elif args.runs_command == "diff":
         deltas = store.diff(args.run_a, args.run_b)
         shown = 0
@@ -508,6 +529,75 @@ def _cmd_scenario(name: str | None, list_only: bool, run_all: bool,
         # full batch — a single-scenario record would trip the
         # regression gate's missing-metric check.
         emit_scenarios(results, fast=fast, verbose=True)
+    return 0 if all(r.passed for r in results) else 1
+
+
+def _cmd_serve(name: str | None, list_only: bool, run_all: bool,
+               fast: bool, seed: int | None, p99_slo: float | None,
+               prometheus_path: str | None,
+               trace_path: str | None) -> int:
+    """Serve named workloads and gate on their SLO reports.
+
+    Exit status is nonzero when any workload misses an SLO bound, so
+    CI can gate on ``repro serve --all --fast`` directly.  The modeled
+    percentiles ride a deterministic virtual clock, so two runs with
+    the same seed produce identical SLO numbers (only the measured
+    wall-clock columns differ).
+    """
+    from repro import obs
+    from repro.serve import (
+        WORKLOADS,
+        emit_serving,
+        get_workload,
+        render_serve_results,
+        serve_workload,
+        workload_names,
+    )
+
+    if list_only:
+        for wl_name in workload_names():
+            wl = WORKLOADS[wl_name]
+            print(f"{wl_name:24s} {wl.title}")
+            print(f"{'':24s} {wl.arrival.kind} trace, "
+                  f"{wl.arrival.horizon_s:g}s horizon, SLO p99 <= "
+                  f"{wl.slo.p99_ms:g}ms, goodput >= "
+                  f"{wl.slo.min_goodput_rps:g} r/s")
+        return 0
+    if run_all:
+        targets = [WORKLOADS[n] for n in workload_names()]
+    elif name is not None:
+        targets = [get_workload(name)]
+    else:
+        raise SystemExit(
+            "repro serve: give a workload name, --all, or --list")
+
+    ob = obs.enable()
+    try:
+        results = []
+        for wl in targets:
+            result = serve_workload(wl, fast=fast, seed=seed,
+                                    p99_slo_ms=p99_slo)
+            results.append(result)
+            print(result.describe())
+            print()
+        print(render_serve_results(results))
+        if run_all:
+            # The combined BENCH_serving.json only makes sense for
+            # the full batch — a single-workload record would trip
+            # the regression gate's missing-metric check.
+            emit_serving(results, fast=fast, verbose=True)
+        if prometheus_path:
+            from repro.obs.prometheus import render_prometheus
+            with open(prometheus_path, "w") as fh:
+                fh.write(render_prometheus(ob.registry))
+            print(f"[obs] wrote prometheus exposition to "
+                  f"{prometheus_path}")
+        if trace_path:
+            ob.recorder.dump_chrome_trace(trace_path)
+            print(f"[obs] wrote {len(ob.recorder)} trace events to "
+                  f"{trace_path}")
+    finally:
+        obs.disable()
     return 0 if all(r.passed for r in results) else 1
 
 
@@ -732,6 +822,9 @@ def main(argv: list[str] | None = None) -> int:
     obs_cmd.add_argument("--metrics-json", default=None,
                          help="dump the metrics registry snapshot "
                               "as JSON here")
+    obs_cmd.add_argument("--prometheus", default=None,
+                         help="dump the metrics registry in prometheus "
+                              "text exposition format here")
     analyze_cmd = sub.add_parser(
         "analyze",
         help="critical-path + attribution analysis of a schedule/trace")
@@ -805,6 +898,32 @@ def main(argv: list[str] | None = None) -> int:
     scenario_cmd.add_argument("--checkpoint-dir", default=None,
                               help="keep checkpoints here "
                                    "(default: tempdir)")
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="online serving workloads with pass/fail SLO gates")
+    serve_cmd.add_argument("name", nargs="?", default=None,
+                           help="workload name (see --list)")
+    serve_cmd.add_argument("--list", action="store_true",
+                           dest="list_only",
+                           help="list the named workloads")
+    serve_cmd.add_argument("--all", action="store_true",
+                           dest="run_all",
+                           help="serve every named workload and emit "
+                                "BENCH_serving.json")
+    serve_cmd.add_argument("--fast", action="store_true",
+                           help="shortened arrival horizons (CI smoke)")
+    serve_cmd.add_argument("--seed", type=int, default=None,
+                           help="override the committed seed")
+    serve_cmd.add_argument("--p99-slo", type=float, default=None,
+                           dest="p99_slo",
+                           help="override the modeled-p99 SLO bound in "
+                                "ms (a tiny value forces an SLO miss)")
+    serve_cmd.add_argument("--prometheus", default=None,
+                           help="write the serving metrics registry "
+                                "in prometheus text exposition here")
+    serve_cmd.add_argument("--trace", default=None,
+                           help="write the Chrome trace (request flow "
+                                "events + batch stage spans) here")
     runs_cmd = sub.add_parser(
         "runs", help="query the persistent run registry")
     runs_sub = runs_cmd.add_subparsers(dest="runs_command",
@@ -881,7 +1000,8 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "info":
         _cmd_info()
     elif args.command == "obs":
-        _cmd_obs(args.trace, args.jsonl, args.steps, args.metrics_json)
+        _cmd_obs(args.trace, args.jsonl, args.steps, args.metrics_json,
+                 args.prometheus)
     elif args.command == "analyze":
         _cmd_analyze(args.target, args.world, args.factor, args.trace)
     elif args.command == "report":
@@ -900,6 +1020,13 @@ def main(argv: list[str] | None = None) -> int:
                                  args.checkpoint_dir)
         except KeyError as exc:
             raise SystemExit(f"repro scenario: {exc.args[0]}") from exc
+    elif args.command == "serve":
+        try:
+            return _cmd_serve(args.name, args.list_only, args.run_all,
+                              args.fast, args.seed, args.p99_slo,
+                              args.prometheus, args.trace)
+        except KeyError as exc:
+            raise SystemExit(f"repro serve: {exc.args[0]}") from exc
     elif args.command == "runs":
         try:
             return _cmd_runs(args)

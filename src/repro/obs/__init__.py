@@ -49,6 +49,7 @@ from repro.obs.trace import (
     CAT_MOE,
     CAT_PIPELINE,
     CAT_PROF,
+    CAT_SERVE,
     CAT_SIM,
     CAT_TRAIN,
     TraceEvent,
@@ -78,6 +79,7 @@ __all__ = [
     "CAT_COLLECTIVE",
     "CAT_PIPELINE",
     "CAT_SIM",
+    "CAT_SERVE",
     "CAT_BENCH",
     "CAT_FAULT",
     "CAT_CKPT",

@@ -162,6 +162,11 @@ class RunSeries:
         self.slo_checks: list[dict] = []
         # Latest op-level profiler summary ("profile" event, last wins).
         self.profile: dict | None = None
+        # Serving-engine series ("serve" / "serve_batch" /
+        # "serving_load" events).
+        self.serve_begin: dict | None = None
+        self.serve_batches: list[dict] = []
+        self.serving_load: dict | None = None
 
     @property
     def layers(self) -> list[int]:
@@ -206,6 +211,12 @@ def build_series(events: Iterable[Mapping]) -> RunSeries:
             series.profile = dict(data)
         elif kind == "slo_check":
             series.slo_checks.append(dict(data))
+        elif kind == "serve" and data.get("kind") == "begin":
+            series.serve_begin = dict(data)
+        elif kind == "serve_batch":
+            series.serve_batches.append(dict(data))
+        elif kind == "serving_load":
+            series.serving_load = dict(data)
     return series
 
 
@@ -353,6 +364,45 @@ def _share_bars(items: Sequence[tuple[str, float]],
             f'font-size="11" fill="var(--muted)">{share:.1%}</text>')
     out.append("</svg>")
     return "".join(out)
+
+
+def _serving_panels(series: RunSeries) -> list[str]:
+    """The serving panel: latency percentile sparklines over batch
+    close time, the queue-depth timeline, and per-stage latency share
+    bars (all six ledger spans)."""
+    batches = series.serve_batches
+    closes = [int(b.get("close_ms", 0)) for b in batches]
+    brownout_markers = []
+    was = False
+    for b in batches:
+        now = bool(b.get("brownout"))
+        if now != was:
+            brownout_markers.append(
+                (int(b.get("close_ms", 0)), "warn",
+                 "brownout " + ("begins" if now else "clears")))
+        was = now
+    panels = []
+    for q in ("p50", "p95", "p99"):
+        panels.append(_panel(
+            f"serving · rolling model {q} latency (ms)",
+            _line_chart(closes,
+                        [float(b.get(f"{q}_ms", 0.0)) for b in batches],
+                        markers=brownout_markers,
+                        x_label="batch close (virtual ms)")))
+    panels.append(_panel(
+        "serving · queue depth at batch close",
+        _line_chart(closes,
+                    [float(b.get("queue_depth", 0)) for b in batches],
+                    markers=brownout_markers,
+                    x_label="batch close (virtual ms)")))
+    load = series.serving_load or {}
+    span_totals = load.get("span_totals_ns") or {}
+    if span_totals:
+        panels.append(_panel(
+            "serving · latency share by stage (sum over requests)",
+            _share_bars([(stage, float(ns) / 1e6)
+                         for stage, ns in span_totals.items()])))
+    return panels
 
 
 # ----------------------------------------------------------------------
@@ -541,6 +591,19 @@ def render_dashboard(store: RunStore, token: str = "latest") -> str:
             panels.append(_panel(
                 "profiler · FLOP share by MoE stage",
                 _share_bars(shares)))
+
+    if series.serve_batches:
+        served = sum(int(b.get("size", 0))
+                     for b in series.serve_batches)
+        last = series.serve_batches[-1]
+        tiles.append(_tile("requests served", str(served)))
+        tiles.append(_tile("model p99",
+                           f'{float(last.get("p99_ms", 0.0)):.1f} ms'))
+        tiles.append(_tile(
+            "max queue depth",
+            str(max(int(b.get("queue_depth", 0))
+                    for b in series.serve_batches))))
+        panels.extend(_serving_panels(series))
 
     for layer in series.layers:
         lmarkers = [(a.get("step", 0), a.get("severity", "warn"),

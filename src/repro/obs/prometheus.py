@@ -1,0 +1,126 @@
+"""Prometheus text-exposition export of a :class:`MetricsRegistry`.
+
+Stdlib-only rendering of the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ so
+serving metrics are scrapeable (or dumpable to a file a node exporter
+picks up):
+
+* counters  → ``# TYPE <name> counter`` samples;
+* gauges    → ``# TYPE <name> gauge`` samples;
+* histograms → ``# TYPE <name> summary``: one ``{quantile="..."}``
+  sample per reservoir quantile plus the ``_sum``/``_count`` pair.
+
+Instrument names are sanitized to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``) — dots and other separators become
+underscores — and the original name travels in a ``# HELP`` line.
+:func:`parse_prometheus` is the inverse used by the round-trip format
+test (and handy for ad-hoc scraping assertions).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["QUANTILES", "prometheus_name", "render_prometheus",
+           "parse_prometheus"]
+
+#: Reservoir quantiles exported per histogram.
+QUANTILES = (0.5, 0.95, 0.99)
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$")
+
+
+def prometheus_name(name: str) -> str:
+    """The instrument name mapped onto the Prometheus grammar."""
+    out = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not out or not re.match(r"[a-zA-Z_:]", out[0]):
+        out = "_" + out
+    assert _NAME_OK.match(out)
+    return out
+
+
+def _fmt(value: float) -> str:
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as one text-exposition document."""
+    lines: list[str] = []
+
+    def head(pname: str, original: str, kind: str) -> None:
+        lines.append(f"# HELP {pname} {original}")
+        lines.append(f"# TYPE {pname} {kind}")
+
+    for name, c in sorted(registry.counters.items()):
+        pname = prometheus_name(name)
+        head(pname, name, "counter")
+        lines.append(f"{pname} {_fmt(c.value)}")
+    for name, g in sorted(registry.gauges.items()):
+        pname = prometheus_name(name)
+        head(pname, name, "gauge")
+        lines.append(f"{pname} {_fmt(g.value)}")
+    for name, h in sorted(registry.histograms.items()):
+        pname = prometheus_name(name)
+        head(pname, name, "summary")
+        for q in QUANTILES:
+            lines.append(
+                f'{pname}{{quantile="{q:g}"}} {_fmt(h.quantile(q))}')
+        lines.append(f"{pname}_sum {_fmt(h.total)}")
+        lines.append(f"{pname}_count {_fmt(h.count)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prometheus(text: str) -> dict[str, dict]:
+    """Inverse of :func:`render_prometheus`.
+
+    Returns ``{metric_name: {"type": ..., "help": ..., "samples":
+    {sample_key: value}}}`` where ``sample_key`` is the bare name,
+    ``name_sum``/``name_count``, or ``name{quantile="..."}`` exactly
+    as rendered.  Raises ``ValueError`` on malformed lines, so the
+    round-trip test doubles as a format validator.
+    """
+    metrics: dict[str, dict] = {}
+    current: dict | None = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            current = metrics.setdefault(
+                name, {"type": None, "help": help_text, "samples": {}})
+            current["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            current = metrics.setdefault(
+                name, {"type": None, "help": "", "samples": {}})
+            current["type"] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        m = _SAMPLE.match(line)
+        if m is None:
+            raise ValueError(
+                f"line {lineno}: not a prometheus sample: {line!r}")
+        sample_name = m.group("name")
+        base = sample_name
+        for suffix in ("_sum", "_count"):
+            if base.endswith(suffix) and base[: -len(suffix)] in metrics:
+                base = base[: -len(suffix)]
+                break
+        if base not in metrics:
+            raise ValueError(
+                f"line {lineno}: sample {sample_name!r} precedes its "
+                f"# TYPE header")
+        key = sample_name
+        if m.group("labels"):
+            key = f"{sample_name}{{{m.group('labels')}}}"
+        metrics[base]["samples"][key] = float(m.group("value"))
+    return metrics

@@ -108,6 +108,15 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    @property
+    def exact(self) -> bool:
+        """True while the reservoir still holds *every* observation,
+        i.e. quantiles are exact order statistics rather than sampled
+        estimates.  Serving SLO gates read p99 from short ``--fast``
+        runs, which rely on this being True at ``count <=
+        RESERVOIR_SIZE``."""
+        return self.count <= RESERVOIR_SIZE
+
     def quantile(self, q: float) -> float:
         """Reservoir-estimated quantile ``q`` in [0, 1].
 

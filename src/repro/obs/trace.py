@@ -41,6 +41,7 @@ __all__ = [
     "CAT_CKPT",
     "CAT_HEALTH",
     "CAT_PROF",
+    "CAT_SERVE",
 ]
 
 # Event categories (the Chrome-trace ``cat`` field).
@@ -54,6 +55,7 @@ CAT_FAULT = "fault"            # injected faults and recoveries
 CAT_CKPT = "ckpt"              # checkpoint save/restore markers
 CAT_HEALTH = "health"          # online health-detector alerts
 CAT_PROF = "prof"              # op-level profiler spans and counters
+CAT_SERVE = "serve"            # online-serving requests and batches
 
 _MICRO = 1e6
 
@@ -65,9 +67,13 @@ class TraceEvent:
     ``ts``/``dur`` are in *seconds* on the recorder's timeline (wall
     clock since recorder start, or simulated time); export converts to
     the microseconds Chrome expects.  ``phase`` is ``"X"`` for a
-    complete span, ``"i"`` for an instant marker (``dur`` 0), or
-    ``"C"`` for a counter sample whose series values live in ``args``
-    (the profiler's live-bytes / cumulative-FLOP tracks).
+    complete span, ``"i"`` for an instant marker (``dur`` 0), ``"C"``
+    for a counter sample whose series values live in ``args`` (the
+    profiler's live-bytes / cumulative-FLOP tracks), or one of
+    ``"s"``/``"t"``/``"f"`` for flow start/step/finish arrows linking
+    spans across tracks (the serving engine draws one flow per request
+    from its arrival to the batch that served it); flow events carry
+    their flow id in ``args["flow_id"]``.
     """
 
     name: str
@@ -91,6 +97,13 @@ class TraceEvent:
             event["dur"] = self.dur * _MICRO
         elif self.phase == "i":
             event["s"] = "t"  # instant scope: thread
+        elif self.phase in ("s", "t", "f"):
+            # Flow arrows: Chrome matches start/step/finish by id; the
+            # finish binds to the enclosing slice ("bp": "e") so the
+            # arrow lands on the batch span that served the request.
+            event["id"] = self.args.get("flow_id", 0)
+            if self.phase == "f":
+                event["bp"] = "e"
         # "C" counter events carry only their args series.
         if self.args:
             event["args"] = dict(self.args)
@@ -152,6 +165,24 @@ class TraceRecorder:
         """Record one instant marker (``ph="i"``)."""
         self.record(TraceEvent(name=name, cat=cat, ts=ts, track=track,
                                phase="i", args=args or {}))
+
+    def flow(self, name: str, cat: str, phase: str, ts: float,
+             flow_id: int, track: str = "main",
+             args: dict | None = None) -> None:
+        """Record one flow event (``ph`` in ``"s"``/``"t"``/``"f"``).
+
+        Events with the same ``flow_id`` (and name/cat) are drawn as
+        one arrow chain in the Chrome trace viewer — the serving
+        engine uses one flow per request, started at arrival on the
+        request track and finished on the engine track at batch close.
+        """
+        if phase not in ("s", "t", "f"):
+            raise ValueError(
+                f"flow phase must be 's', 't' or 'f', got {phase!r}")
+        flow_args = dict(args or {})
+        flow_args["flow_id"] = int(flow_id)
+        self.record(TraceEvent(name=name, cat=cat, ts=ts, track=track,
+                               phase=phase, args=flow_args))
 
     def counter(self, name: str, cat: str, ts: float, values: dict,
                 track: str = "main") -> None:

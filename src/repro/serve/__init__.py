@@ -1,0 +1,85 @@
+"""repro.serve — online MoE inference over the functional substrate.
+
+Everything before this package exercised the *training* axis of the
+reproduction; production MoE traffic is request-shaped.  The serving
+engine closes that gap with end-to-end request observability:
+
+* :mod:`repro.serve.arrivals` — seeded open-loop arrival processes
+  (Poisson, bursty/MMPP, diurnal) producing integer-nanosecond request
+  traces;
+* :mod:`repro.serve.batcher` — the continuous-batch former (close on
+  max batch size or max wait);
+* :mod:`repro.serve.ledger` — the per-request latency ledger: every
+  nanosecond of a request's life attributed to
+  ``queue | batch_wait | gate | dispatch | expert | combine`` spans
+  that sum *exactly* to the end-to-end latency (integer arithmetic),
+  plus token-weighted per-batch cost attribution that sums exactly to
+  each batch's stage walls;
+* :mod:`repro.serve.engine` — the virtual-clock serving loop over a
+  stack of real :class:`repro.nn.moe.MoE` layers, keeping the
+  deterministic simulator-priced latency column and the measured
+  wall-clock column side by side (HetuMoE's methodology);
+* :mod:`repro.serve.workloads` — the named, committed workloads
+  (``repro serve --list``);
+* :mod:`repro.serve.report` — ``BENCH_serving.json`` for the
+  ``repro regress`` gate.
+"""
+
+from repro.serve.arrivals import (
+    ArrivalSpec,
+    Request,
+    generate_arrivals,
+)
+from repro.serve.batcher import Batch, BatchFormer
+from repro.serve.engine import (
+    ServeResult,
+    SLOCheck,
+    serve_workload,
+)
+from repro.serve.ledger import (
+    EXEC_STAGES,
+    STAGES,
+    BatchLedger,
+    RequestLedger,
+    attribute_shares,
+    stage_sum,
+)
+from repro.serve.report import (
+    SERVING_ARTIFACT,
+    emit_serving,
+    render_serve_results,
+    serving_metrics,
+)
+from repro.serve.workloads import (
+    WORKLOADS,
+    ServeSLO,
+    ServeWorkload,
+    get_workload,
+    workload_names,
+)
+
+__all__ = [
+    "ArrivalSpec",
+    "Request",
+    "generate_arrivals",
+    "Batch",
+    "BatchFormer",
+    "STAGES",
+    "EXEC_STAGES",
+    "RequestLedger",
+    "BatchLedger",
+    "attribute_shares",
+    "stage_sum",
+    "ServeResult",
+    "SLOCheck",
+    "serve_workload",
+    "ServeWorkload",
+    "ServeSLO",
+    "WORKLOADS",
+    "get_workload",
+    "workload_names",
+    "SERVING_ARTIFACT",
+    "serving_metrics",
+    "emit_serving",
+    "render_serve_results",
+]

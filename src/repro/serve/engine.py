@@ -1,0 +1,469 @@
+"""The virtual-clock serving loop over a stack of real MoE layers.
+
+The engine replays a seeded arrival trace through the continuous
+batcher and serves every batch **twice over, in one pass**:
+
+* the **modeled column** prices each batch's four MoE stages with a
+  closed-form cost model (gate and expert FFN flops on a nominal
+  compute throughput; dispatch/combine payload bytes on a nominal
+  serving-fabric bandwidth, derated during a brownout window).  These
+  integer-nanosecond prices advance the virtual clock, so batch
+  composition, queue depths, and the SLO percentiles are bit-stable
+  across machines — gateable with tolerance 0;
+* the **measured column** runs the batch through the real NumPy MoE
+  stack and reads the four stage walls from the observer's
+  ``moe.gate`` / ``moe.encode`` / ``moe.expert_ffn`` / ``moe.decode``
+  histogram deltas.  Wall-clock numbers ride along in every artifact
+  (HetuMoE methodology) but never steer the clock and never gate
+  determinism.
+
+Every request leaves with a fully attributed
+:class:`repro.serve.ledger.RequestLedger`; batches, requests, queue
+depth, per-(layer, expert) load, and SLO verdicts stream into the run
+registry, and per-request flow events land in the Chrome trace.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.bench.report import Metric
+from repro.nn.moe import MoE
+from repro.obs import CAT_SERVE, Observer, get_observer
+from repro.obs import enable as obs_enable
+from repro.obs import disable as obs_disable
+from repro.obs.registry import Histogram
+from repro.obs.runs import RunWriter, env_runs_root, get_run, set_run
+from repro.scenarios.engine import SLOCheck
+from repro.serve.arrivals import NS, generate_arrivals
+from repro.serve.batcher import BatchFormer
+from repro.serve.ledger import (
+    EXEC_STAGES,
+    STAGES,
+    BatchLedger,
+    RequestLedger,
+    build_batch_ledger,
+)
+from repro.serve.workloads import ServeWorkload
+
+__all__ = ["ServeResult", "SLOCheck", "serve_workload",
+           "COMPUTE_FLOPS_PER_S", "COMM_BYTES_PER_S", "LAUNCH_NS"]
+
+# ----------------------------------------------------------------------
+# The serving cost model
+# ----------------------------------------------------------------------
+# Nominal rates scaled so that queueing dynamics are visible at the toy
+# layer dimensions the committed workloads serve: a full batch prices
+# at ~20 ms, putting the steady workload near 50% utilization and the
+# burst/peak/brownout workloads past the capacity knee.
+
+#: Dense-math throughput pricing ``gate`` and ``expert`` stage flops.
+COMPUTE_FLOPS_PER_S = 5.0e8
+#: Serving-fabric bandwidth pricing ``dispatch``/``combine`` payloads.
+COMM_BYTES_PER_S = 20.0e6
+#: Per-stage, per-layer launch overhead (kernel + framework).
+LAUNCH_NS = 30_000
+#: Serving payloads are float32 on the wire.
+BYTES_PER_VALUE = 4
+
+_MOE_SPAN_OF_STAGE = {"gate": "moe.gate", "dispatch": "moe.encode",
+                      "expert": "moe.expert_ffn", "combine": "moe.decode"}
+
+
+def price_stages(wl: ServeWorkload, tokens: int,
+                 comm_derate: float = 1.0) -> dict[str, int]:
+    """Closed-form modeled stage walls (integer ns) for one batch.
+
+    Per layer, for ``T`` tokens with model dim ``M``, hidden ``H``,
+    ``E`` experts, top-``k`` and capacity factor ``f``:
+
+    * ``gate``      — ``2·T·M·E`` flops (router GEMM + selection);
+    * ``dispatch``  — ``T·k·M`` float32 values over the serving
+      fabric (the All-to-All scatter analogue);
+    * ``expert``    — ``4·E·C·M·H`` flops with capacity
+      ``C = ceil(k·T·f/E)`` (two GEMMs, forward only, padded to
+      capacity exactly like the real encode);
+    * ``combine``   — ``T·k·M`` values back over the fabric.
+
+    ``comm_derate`` < 1 models a brownout: fabric stages slow by its
+    inverse.  Pure float arithmetic rounded once to integer
+    nanoseconds — no wall-clock input, so prices are bit-stable.
+    """
+    if tokens < 1:
+        raise ValueError(f"tokens must be >= 1, got {tokens}")
+    if not 0.0 < comm_derate <= 1.0:
+        raise ValueError(
+            f"comm_derate must be in (0, 1], got {comm_derate}")
+    m, h, e = wl.model_dim, wl.hidden_dim, wl.num_experts
+    k, f = wl.top_k, wl.capacity_factor
+    cap = math.ceil(k * tokens * f / e)
+    comm_bytes = tokens * k * m * BYTES_PER_VALUE
+    seconds = {
+        "gate": 2.0 * tokens * m * e / COMPUTE_FLOPS_PER_S,
+        "dispatch": comm_bytes / (COMM_BYTES_PER_S * comm_derate),
+        "expert": 4.0 * e * cap * m * h / COMPUTE_FLOPS_PER_S,
+        "combine": comm_bytes / (COMM_BYTES_PER_S * comm_derate),
+    }
+    return {s: wl.num_layers * (LAUNCH_NS + round(seconds[s] * NS))
+            for s in EXEC_STAGES}
+
+
+# ----------------------------------------------------------------------
+# Result container
+# ----------------------------------------------------------------------
+
+@dataclass
+class ServeResult:
+    """Everything one workload run produced."""
+
+    workload: ServeWorkload
+    fast: bool
+    requests: list[RequestLedger] = field(default_factory=list)
+    batches: list[BatchLedger] = field(default_factory=list)
+    checks: list[SLOCheck] = field(default_factory=list)
+    metrics: list[Metric] = field(default_factory=list)
+    #: Per-(layer, expert) routed-token counts over the whole run —
+    #: the MoETuner-style serving-load statistic.
+    expert_load: list[list[int]] = field(default_factory=list)
+    makespan_s: float = 0.0
+    wall_seconds: float = 0.0
+    run_id: str | None = None
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def metric(self, name: str) -> Metric:
+        for m in self.metrics:
+            if m.name == name:
+                return m
+        raise KeyError(f"serving metric {name!r} not recorded")
+
+    def describe(self) -> str:
+        wl = self.workload
+        verdict = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"workload {wl.name} (seed {wl.seed}"
+            f"{', fast' if self.fast else ''}) -> {verdict}",
+            f"  {wl.title}",
+            f"  {len(self.requests)} requests in {len(self.batches)} "
+            f"batches over {self.makespan_s:.3f} virtual s "
+            f"({self.wall_seconds:.3f} wall s)",
+            "-- SLO report --",
+        ]
+        for check in self.checks:
+            lines.append(f"  {check.describe()}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The serving loop
+# ----------------------------------------------------------------------
+
+def _measured_walls(ob: Observer) -> dict[str, float]:
+    """Cumulative seconds in each MoE stage histogram."""
+    walls = {}
+    for stage, span in _MOE_SPAN_OF_STAGE.items():
+        h = ob.registry.histogram(span)
+        walls[stage] = h.total
+    return walls
+
+
+def _brownout_active(wl: ServeWorkload, at_ns: int) -> bool:
+    if wl.brownout is None:
+        return False
+    return wl.brownout.step * NS <= at_ns < wl.brownout.end_step * NS
+
+
+def _emit_trace(ob: Observer, ledger: BatchLedger) -> None:
+    """Virtual-timeline spans + per-request flow events."""
+    rec = ob.recorder
+    t = ledger.close_ns
+    for stage in EXEC_STAGES:
+        ob.record_span(stage, CAT_SERVE, t / NS,
+                       ledger.model_walls[stage] / NS,
+                       track="serve/engine",
+                       args={"batch": ledger.batch_id,
+                             "tokens": ledger.tokens})
+        t += ledger.model_walls[stage]
+    if rec is None:
+        return
+    for r in ledger.requests:
+        rec.span(f"req {r.request_id}", CAT_SERVE,
+                 r.arrival_ns / NS, r.model_e2e_ns / NS,
+                 track="serve/requests",
+                 args={"tokens": r.tokens, "batch": r.batch_id,
+                       "spans_ns": dict(r.model_spans)})
+        rec.flow(f"req {r.request_id}", CAT_SERVE, "s",
+                 r.arrival_ns / NS, flow_id=r.request_id,
+                 track="serve/requests")
+        rec.flow(f"req {r.request_id}", CAT_SERVE, "f",
+                 ledger.close_ns / NS, flow_id=r.request_id,
+                 track="serve/engine")
+
+
+def serve_workload(workload: ServeWorkload, *, fast: bool = False,
+                   seed: int | None = None,
+                   p99_slo_ms: float | None = None) -> ServeResult:
+    """Serve one workload's arrival trace end to end.
+
+    ``p99_slo_ms`` overrides the workload's modeled-p99 bound (the
+    forced-SLO-miss hook the CLI exposes).  Returns the
+    :class:`ServeResult`; inspect ``.passed`` for the SLO verdict.
+    """
+    wl = workload.resolved(fast=fast, seed=seed)
+    requests = generate_arrivals(wl.arrival, wl.seed)
+    if not requests:
+        raise ValueError(
+            f"workload {wl.name!r} produced an empty arrival trace")
+    result = ServeResult(workload=wl, fast=fast)
+
+    own_obs = get_observer() is None
+    ob = obs_enable() if own_obs else get_observer()
+    assert ob is not None
+
+    auto_run = None
+    if get_run() is None and env_runs_root() is not None:
+        auto_run = RunWriter.create(
+            seed=wl.seed,
+            config={"kind": "serve", "workload": wl.name,
+                    "fast": fast, "requests": len(requests)},
+            substrate="serve")
+        set_run(auto_run)
+    run = get_run()
+    if run is not None:
+        result.run_id = run.manifest.run_id
+        run.emit("serve", step=0, data={
+            "kind": "begin", "workload": wl.name, "seed": wl.seed,
+            "fast": fast, "requests": len(requests),
+            "horizon_s": wl.arrival.horizon_s})
+
+    t_wall0 = time.perf_counter()
+    try:
+        _serve_loop(wl, requests, result, ob, run, t_wall0=t_wall0,
+                    p99_slo_ms=p99_slo_ms)
+    finally:
+        run = get_run()
+        if run is not None:
+            for check in result.checks:
+                run.emit("slo_check", step=-1, data={
+                    "name": check.name, "value": check.value,
+                    "bound": check.bound, "op": check.op,
+                    "measured": check.measured,
+                    "passed": check.passed})
+            run.update_summary(_summary(result))
+        if auto_run is not None:
+            get_run().finalize(
+                registry_snapshot=ob.registry.snapshot())
+            get_run().close()
+            set_run(None)
+        if own_obs:
+            obs_disable()
+    return result
+
+
+def _summary(result: ServeResult) -> dict:
+    get_val = {m.name: m.value for m in result.metrics}
+    return {
+        "serve.workload": result.workload.name,
+        "serve.requests": len(result.requests),
+        "serve.batches": len(result.batches),
+        "serve.model_p99_ms": get_val.get("model_p99_ms"),
+        "serve.goodput_rps": get_val.get("goodput_rps"),
+        "serve.slo_pass": result.passed,
+        "serve.checks_failed": sum(1 for c in result.checks
+                                   if not c.passed),
+    }
+
+
+def _serve_loop(wl: ServeWorkload, requests, result: ServeResult,
+                ob: Observer, run, *, t_wall0: float,
+                p99_slo_ms: float | None) -> None:
+    rng = np.random.default_rng(wl.seed)
+    layers = [MoE(wl.model_dim, wl.hidden_dim, wl.num_experts, rng,
+                  top_k=wl.top_k, capacity_factor=wl.capacity_factor)
+              for _ in range(wl.num_layers)]
+    former = BatchFormer(wl.max_batch_size,
+                         max_wait_ns=round(wl.max_wait_ms * 1e6))
+    loads = [[0] * wl.num_experts for _ in range(wl.num_layers)]
+    dropped_tokens = 0
+    routed_tokens = 0
+
+    hist_model = Histogram(f"serve.{wl.name}.model_ms")
+    hist_measured = Histogram(f"serve.{wl.name}.measured_ms")
+
+    free_ns = 0
+    start = 0
+    batch_id = 0
+    brownout_was_active = False
+    while start < len(requests):
+        batch = former.next_batch(requests, start, free_ns, batch_id)
+        end = start + len(batch.requests)
+        queue_depth = sum(1 for r in requests[end:]
+                          if r.arrival_ns <= batch.close_ns)
+
+        active = _brownout_active(wl, batch.close_ns)
+        if active and not brownout_was_active and run is not None:
+            run.emit("fault", step=None, data={
+                "kind": "link_brownout", "factor": wl.brownout.factor,
+                "at_s": batch.close_ns / NS})
+        if brownout_was_active and not active and run is not None:
+            run.emit("recovery", step=None, data={
+                "kind": "brownout_cleared", "at_s": batch.close_ns / NS})
+        brownout_was_active = active
+        derate = wl.brownout.factor if active else 1.0
+        model_walls = price_stages(wl, batch.tokens, comm_derate=derate)
+
+        # The measured column: a real forward through the MoE stack.
+        parts = [np.random.default_rng(r.seed)
+                 .standard_normal((r.tokens, wl.model_dim))
+                 for r in batch.requests]
+        x = Tensor(np.concatenate(parts, axis=0))
+        before = _measured_walls(ob)
+        for li, layer in enumerate(layers):
+            x, _ = layer.forward(x)
+            stats = layer.last_routing_stats
+            if stats is not None:
+                for e, n in enumerate(stats.expert_load):
+                    loads[li][e] += int(n)
+                routed_tokens += stats.num_tokens
+                dropped_tokens += round(stats.dropped_fraction
+                                        * stats.num_tokens)
+        after = _measured_walls(ob)
+        walls = {s: max(0, round((after[s] - before[s]) * NS))
+                 for s in EXEC_STAGES}
+
+        ledger = build_batch_ledger(batch, walls, model_walls,
+                                    queue_depth)
+        result.batches.append(ledger)
+        result.requests.extend(ledger.requests)
+        for r in ledger.requests:
+            hist_model.observe(r.model_e2e_ns / 1e6)
+            hist_measured.observe(r.e2e_ns / 1e6)
+
+        ob.count("serve.requests", len(ledger.requests))
+        ob.count("serve.batches")
+        ob.gauge("serve.queue_depth", queue_depth)
+        _emit_trace(ob, ledger)
+        if run is not None:
+            run.emit("serve_batch", step=batch_id, data={
+                "batch": batch_id, "close_ms": batch.close_ns / 1e6,
+                "size": ledger.size, "tokens": ledger.tokens,
+                "queue_depth": queue_depth,
+                "service_model_ms": ledger.service_ns / 1e6,
+                "service_measured_ms": ledger.measured_service_ns / 1e6,
+                "model_walls_ns": dict(ledger.model_walls),
+                "p50_ms": hist_model.quantile(0.50),
+                "p95_ms": hist_model.quantile(0.95),
+                "p99_ms": hist_model.quantile(0.99),
+                "brownout": active,
+            })
+            for r in ledger.requests:
+                run.emit("serve_request", step=batch_id, data={
+                    "request": r.request_id, "batch": r.batch_id,
+                    "tokens": r.tokens,
+                    "arrival_ms": r.arrival_ns / 1e6,
+                    "e2e_model_ms": r.model_e2e_ns / 1e6,
+                    "e2e_measured_ms": r.e2e_ns / 1e6,
+                    "model_spans_ns": dict(r.model_spans),
+                    "model_shares_ns": dict(r.model_shares)})
+
+        free_ns = ledger.done_ns
+        start = end
+        batch_id += 1
+
+    result.wall_seconds = time.perf_counter() - t_wall0
+    _finish(wl, result, hist_model, hist_measured, loads,
+            routed_tokens, dropped_tokens, run,
+            p99_slo_ms=p99_slo_ms)
+
+
+def _gini(load: list[int]) -> float:
+    arr = np.sort(np.asarray(load, dtype=np.float64))
+    if arr.sum() <= 0:
+        return 0.0
+    n = arr.size
+    idx = np.arange(1, n + 1)
+    return float((2.0 * (idx * arr).sum() / (n * arr.sum()))
+                 - (n + 1.0) / n)
+
+
+def _finish(wl: ServeWorkload, result: ServeResult,
+            hist_model: Histogram, hist_measured: Histogram,
+            loads, routed_tokens: int, dropped_tokens: int, run, *,
+            p99_slo_ms: float | None) -> None:
+    result.expert_load = [list(row) for row in loads]
+    makespan_ns = result.batches[-1].done_ns
+    result.makespan_s = makespan_ns / NS
+    deadline_ns = round(wl.slo.deadline_ms * 1e6)
+    on_time = sum(1 for r in result.requests
+                  if r.model_e2e_ns <= deadline_ns)
+    goodput = on_time / result.makespan_s
+    model_p = {q: hist_model.quantile(q) for q in (0.50, 0.95, 0.99)}
+    meas_p = {q: hist_measured.quantile(q) for q in (0.50, 0.95, 0.99)}
+    dropped_fraction = (dropped_tokens / routed_tokens
+                        if routed_tokens else 0.0)
+    load_gini = _gini([n for row in loads for n in row])
+
+    p99_bound = p99_slo_ms if p99_slo_ms is not None else wl.slo.p99_ms
+    result.checks.append(SLOCheck(
+        name=f"{wl.name}.model_p99_ms", value=model_p[0.99],
+        bound=p99_bound, op="<="))
+    result.checks.append(SLOCheck(
+        name=f"{wl.name}.goodput_rps", value=goodput,
+        bound=wl.slo.min_goodput_rps, op=">="))
+    if wl.slo.measured_p99_ms is not None:
+        result.checks.append(SLOCheck(
+            name=f"{wl.name}.measured_p99_ms", value=meas_p[0.99],
+            bound=wl.slo.measured_p99_ms, op="<=", measured=True))
+
+    mean_batch = len(result.requests) / len(result.batches)
+    max_depth = max(b.queue_depth for b in result.batches)
+    # Modeled metrics gate exactly (tolerance 0 — any drift is a
+    # determinism break); routing-derived numbers get slack for BLAS
+    # reduction-order variance; wall-clock rides along ungated.
+    result.metrics = [
+        Metric("requests", float(len(result.requests)), "count",
+               kind="model", tolerance=0.0),
+        Metric("batches", float(len(result.batches)), "count",
+               kind="model", tolerance=0.0),
+        Metric("mean_batch_size", mean_batch, "requests",
+               kind="model", tolerance=0.0),
+        Metric("max_queue_depth", float(max_depth), "requests",
+               kind="model", tolerance=0.0),
+        Metric("model_p50_ms", model_p[0.50], "ms", kind="model",
+               higher_is_better=False, tolerance=0.0),
+        Metric("model_p95_ms", model_p[0.95], "ms", kind="model",
+               higher_is_better=False, tolerance=0.0),
+        Metric("model_p99_ms", model_p[0.99], "ms", kind="model",
+               higher_is_better=False, tolerance=0.0),
+        Metric("goodput_rps", goodput, "req/s", kind="model",
+               higher_is_better=True, tolerance=0.0),
+        Metric("slo_pass", 1.0 if result.passed else 0.0, "bool",
+               kind="model", higher_is_better=True, tolerance=0.0),
+        Metric("dropped_fraction", dropped_fraction, "fraction",
+               kind="model", higher_is_better=False, tolerance=0.25),
+        Metric("expert_load_gini", load_gini, "gini", kind="model",
+               higher_is_better=False, tolerance=0.25),
+        Metric("measured_p50_ms", meas_p[0.50], "ms", kind="measured",
+               higher_is_better=False, tolerance=0.5),
+        Metric("measured_p99_ms", meas_p[0.99], "ms", kind="measured",
+               higher_is_better=False, tolerance=0.5),
+        Metric("wall_seconds", result.wall_seconds, "s",
+               kind="measured", higher_is_better=False, tolerance=1.0),
+    ]
+    if run is not None:
+        span_totals = {
+            s: sum(r.model_spans[s] for r in result.requests)
+            for s in STAGES}
+        run.emit("serving_load", step=None, data={
+            "workload": wl.name,
+            "loads": [list(row) for row in loads],
+            "gini": load_gini,
+            "dropped_fraction": dropped_fraction,
+            "span_totals_ns": span_totals})

@@ -1,0 +1,71 @@
+"""``BENCH_serving.json`` — the serving SLO record for `repro regress`.
+
+One combined artifact per ``repro serve --all`` run: every workload's
+metrics namespaced as ``<workload>.<metric>``.  Modeled metrics carry
+tolerance 0 (the virtual clock makes them bit-stable, so any drift is
+a determinism break); measured wall-clock metrics ride along with
+``kind="measured"`` and stay out of the default regression gate —
+the two-column methodology the artifact exists to preserve.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.bench.report import BenchResult, Metric
+from repro.bench.report import emit as bench_emit
+from repro.bench.harness import Table
+from repro.serve.engine import ServeResult
+
+__all__ = ["SERVING_ARTIFACT", "serving_metrics", "emit_serving",
+           "render_serve_results"]
+
+SERVING_ARTIFACT = "serving"
+
+
+def serving_metrics(results: Iterable[ServeResult]) -> list[Metric]:
+    """Namespaced metrics of every workload, in workload-name order."""
+    metrics: list[Metric] = []
+    for res in sorted(results, key=lambda r: r.workload.name):
+        for m in res.metrics:
+            metrics.append(Metric(
+                name=f"{res.workload.name}.{m.name}", value=m.value,
+                unit=m.unit, kind=m.kind,
+                higher_is_better=m.higher_is_better,
+                tolerance=m.tolerance))
+    return metrics
+
+
+def emit_serving(results: Iterable[ServeResult], *,
+                 fast: bool,
+                 directory=None,
+                 verbose: bool = False) -> BenchResult:
+    """Write (when configured) the combined serving bench record."""
+    results = list(results)
+    config = {
+        "mode": "fast" if fast else "full",
+        "workloads": sorted(r.workload.name for r in results),
+        "seeds": {r.workload.name: r.workload.seed for r in results},
+    }
+    return bench_emit(
+        SERVING_ARTIFACT,
+        "Online serving: SLO percentiles over seeded arrival traces",
+        serving_metrics(results),
+        config=config, directory=directory, verbose=verbose)
+
+
+def render_serve_results(results: Iterable[ServeResult]) -> str:
+    """Human summary table of a serving batch."""
+    table = Table(
+        "serving SLO report",
+        ["workload", "seed", "requests", "batches", "p50 ms",
+         "p99 ms", "goodput r/s", "verdict"])
+    for res in sorted(results, key=lambda r: r.workload.name):
+        wl = res.workload
+        table.add_row(
+            wl.name, wl.seed, len(res.requests), len(res.batches),
+            f"{res.metric('model_p50_ms').value:.2f}",
+            f"{res.metric('model_p99_ms').value:.2f}",
+            f"{res.metric('goodput_rps').value:.1f}",
+            "PASS" if res.passed else "FAIL")
+    return table.render()

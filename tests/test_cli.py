@@ -283,3 +283,95 @@ class TestCalibrateCommand:
         payload = json.loads(report_path.read_text())
         assert payload["profile"] == "fast"
         assert (tmp_path / "bench" / "BENCH_calibration.json").exists()
+
+
+class TestServeCommand:
+    def test_serve_list(self, capsys):
+        assert main(["serve", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("poisson_steady", "bursty_spike",
+                     "diurnal_cycle", "brownout_surge"):
+            assert name in out
+        assert "SLO p99" in out
+
+    def test_serve_requires_target(self):
+        with pytest.raises(SystemExit):
+            main(["serve"])
+
+    def test_serve_unknown_workload_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["serve", "nope"])
+
+    def test_serve_single_workload_passes(self, capsys):
+        assert main(["serve", "poisson_steady", "--fast",
+                     "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "serving SLO report" in out
+        assert "PASS" in out
+        # Both latency columns are reported side by side.
+        assert "model_p99_ms" in out
+        assert "measured_p99_ms" in out
+
+    def test_serve_forced_slo_miss_exits_nonzero(self, capsys):
+        assert main(["serve", "poisson_steady", "--fast",
+                     "--seed", "0", "--p99-slo", "0.0001"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+
+    def test_serve_all_emits_bench_artifact(self, tmp_path, capsys,
+                                            monkeypatch):
+        bench_dir = tmp_path / "bench"
+        bench_dir.mkdir()
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(bench_dir))
+        assert main(["serve", "--all", "--fast", "--seed", "0"]) == 0
+        payload = json.loads(
+            (bench_dir / "BENCH_serving.json").read_text())
+        assert payload["artifact"] == "serving"
+        assert payload["config"]["mode"] == "fast"
+        names = {m["name"] for m in payload["metrics"]}
+        for wl in ("poisson_steady", "bursty_spike", "diurnal_cycle",
+                   "brownout_surge"):
+            for metric in ("model_p50_ms", "model_p95_ms",
+                           "model_p99_ms", "goodput_rps", "slo_pass"):
+                assert f"{wl}.{metric}" in names
+        # Modeled metrics gate exactly; measured ones are exempt.
+        by_name = {m["name"]: m for m in payload["metrics"]}
+        assert by_name["poisson_steady.model_p99_ms"]["tolerance"] == 0
+        assert by_name["poisson_steady.measured_p99_ms"]["kind"] \
+            == "measured"
+
+    def test_serve_writes_prometheus_and_trace(self, tmp_path,
+                                               capsys):
+        prom = tmp_path / "serve.prom"
+        trace = tmp_path / "serve-trace.json"
+        assert main(["serve", "poisson_steady", "--fast",
+                     "--seed", "0", "--prometheus", str(prom),
+                     "--trace", str(trace)]) == 0
+        from repro.obs.prometheus import parse_prometheus
+        parsed = parse_prometheus(prom.read_text())
+        assert parsed["serve_requests"]["samples"]["serve_requests"] > 0
+        assert parsed["serve_gate"]["type"] == "summary"
+        assert parsed["serve_gate"]["samples"]["serve_gate_count"] > 0
+        payload = json.loads(trace.read_text())
+        phases = {e.get("ph") for e in payload["traceEvents"]}
+        assert {"X", "s", "f"} <= phases
+        tracks = {e["args"]["name"]
+                  for e in payload["traceEvents"]
+                  if e.get("name") == "thread_name"}
+        assert {"serve/requests", "serve/engine"} <= tracks
+
+    def test_runs_show_surfaces_serving_summary(self, tmp_path,
+                                                capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path))
+        assert main(["serve", "poisson_steady", "--fast",
+                     "--seed", "0"]) == 0
+        capsys.readouterr()
+        assert main(["runs", "show", "latest",
+                     "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "serving summary:" in out
+        assert "serve.workload" in out and "poisson_steady" in out
+        assert "serve.model_p99_ms" in out
+        assert "serve.slo_pass" in out
+        # SLO verdict lines ride along.
+        assert "[PASS] poisson_steady.model_p99_ms" in out

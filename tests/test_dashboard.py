@@ -316,3 +316,87 @@ class TestWriteDashboard:
                               tmp_path / "out" / "dash.html")
         assert out.is_file()
         check_well_formed(out.read_text())
+
+
+def populate_serving_run(root, run_id="s1"):
+    """A run carrying the serving engine's event stream."""
+    writer = RunWriter.create(root=root, run_id=run_id, seed=0,
+                              config={"kind": "serve",
+                                      "workload": "poisson_steady"},
+                              created_at=3.0)
+    writer.emit("serve", step=0, data={
+        "kind": "begin", "workload": "poisson_steady", "seed": 0,
+        "fast": True, "requests": 12, "horizon_s": 1.0})
+    for i in range(4):
+        writer.emit("serve_batch", step=i, data={
+            "batch": i, "close_ms": 10.0 * (i + 1), "size": 3,
+            "tokens": 48, "queue_depth": i,
+            "service_model_ms": 12.0, "service_measured_ms": 1.0,
+            "model_walls_ns": {"gate": 1, "dispatch": 2, "expert": 3,
+                               "combine": 4},
+            "p50_ms": 15.0 + i, "p95_ms": 25.0 + i,
+            "p99_ms": 30.0 + i, "brownout": i == 2})
+    writer.emit("serving_load", step=None, data={
+        "workload": "poisson_steady",
+        "loads": [[4, 8, 2, 2], [3, 3, 5, 5]], "gini": 0.25,
+        "dropped_fraction": 0.0,
+        "span_totals_ns": {"queue": 100, "batch_wait": 300,
+                           "gate": 50, "dispatch": 90, "expert": 400,
+                           "combine": 60}})
+    writer.emit("slo_check", step=-1, data={
+        "name": "poisson_steady.model_p99_ms", "value": 33.0,
+        "bound": 80.0, "op": "<=", "measured": False, "passed": True})
+    writer.finalize(summary={"serve.workload": "poisson_steady",
+                             "serve.requests": 12,
+                             "serve.model_p99_ms": 33.0,
+                             "serve.slo_pass": True})
+    return writer
+
+
+class TestServingPanels:
+    def test_serving_events_folded_into_series(self, tmp_path):
+        populate_serving_run(tmp_path)
+        series = build_series(RunStore(tmp_path).events("s1"))
+        assert series.serve_begin["workload"] == "poisson_steady"
+        assert len(series.serve_batches) == 4
+        assert series.serve_batches[-1]["p99_ms"] == 33.0
+        assert series.serving_load["gini"] == 0.25
+        assert series.slo_checks[0]["passed"] is True
+
+    def test_serving_panels_render(self, tmp_path):
+        populate_serving_run(tmp_path)
+        doc = render_dashboard(RunStore(tmp_path), "s1")
+        check_well_formed(doc)
+        # Latency percentile sparklines, queue-depth timeline, and
+        # per-stage share bars, plus the summary tiles.
+        for needle in ("rolling model p50 latency",
+                       "rolling model p95 latency",
+                       "rolling model p99 latency",
+                       "queue depth at batch close",
+                       "latency share by stage",
+                       "requests served", "model p99",
+                       "max queue depth"):
+            assert needle in doc, needle
+        # All six ledger stages appear in the share bars.
+        for stage in ("queue", "batch_wait", "gate", "dispatch",
+                      "expert", "combine"):
+            assert stage in doc, stage
+        # The brownout transition is flagged on the sparkline.
+        assert "brownout begins" in doc
+
+    def test_run_without_serving_omits_panels(self, tmp_path):
+        populate_run(tmp_path)
+        doc = render_dashboard(RunStore(tmp_path), "r1")
+        assert "rolling model p99" not in doc
+        assert "requests served" not in doc
+
+    def test_real_serving_run_renders_end_to_end(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path))
+        from repro.serve import get_workload, serve_workload
+        res = serve_workload(get_workload("poisson_steady"),
+                             fast=True, seed=0)
+        assert res.run_id is not None
+        doc = render_dashboard(RunStore(tmp_path), res.run_id)
+        check_well_formed(doc)
+        assert "latency share by stage" in doc

@@ -471,3 +471,158 @@ class TestCollectivesIntegration:
         assert {"all_to_all_linear", "all_to_all_2dh"} <= names
         assert ob.registry.histogram(
             "collective.all_to_all_linear").count == 1
+
+
+class TestHistogramSmallNExact:
+    """Serving SLO gates read p99 from short ``--fast`` runs, which
+    must see *exact* order statistics — no sampling noise — while the
+    observation count is within the reservoir."""
+
+    def test_exact_at_reservoir_capacity_matches_numpy(self):
+        from repro.obs.registry import RESERVOIR_SIZE
+
+        rng = np.random.default_rng(5)
+        values = rng.exponential(10.0, RESERVOIR_SIZE)
+        h = MetricsRegistry().histogram("serve.latency")
+        for v in values:
+            h.observe(float(v))
+        assert h.exact
+        for q in (0.5, 0.95, 0.99):
+            # rel=1e-12: same order statistics, numpy just associates
+            # the interpolation arithmetic differently.
+            assert h.quantile(q) == pytest.approx(
+                float(np.percentile(values, q * 100,
+                                    method="linear")), rel=1e-12)
+
+    def test_exact_flag_flips_past_capacity(self):
+        from repro.obs.registry import RESERVOIR_SIZE
+
+        h = MetricsRegistry().histogram("h")
+        assert h.exact  # vacuously exact when empty
+        for v in range(RESERVOIR_SIZE):
+            h.observe(float(v))
+        assert h.exact
+        h.observe(float(RESERVOIR_SIZE))
+        assert not h.exact
+
+    def test_order_independent_at_small_n(self):
+        a = MetricsRegistry().histogram("x")
+        b = MetricsRegistry().histogram("x")
+        values = [5.0, 1.0, 9.0, 3.0, 7.0]
+        for v in values:
+            a.observe(v)
+        for v in sorted(values):
+            b.observe(v)
+        for q in (0.25, 0.5, 0.99):
+            assert a.quantile(q) == b.quantile(q)
+
+
+class TestPrometheusExport:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.requests").inc(42)
+        reg.gauge("serve.queue_depth").set(7.5)
+        h = reg.histogram("serve.latency_ms")
+        for v in (1.0, 2.0, 10.0, 3.5):
+            h.observe(v)
+        return reg
+
+    def test_round_trip(self):
+        from repro.obs.prometheus import (
+            parse_prometheus,
+            render_prometheus,
+        )
+
+        reg = self._registry()
+        text = render_prometheus(reg)
+        parsed = parse_prometheus(text)
+        counter = parsed["serve_requests"]
+        assert counter["type"] == "counter"
+        assert counter["help"] == "serve.requests"
+        assert counter["samples"]["serve_requests"] == 42.0
+        gauge = parsed["serve_queue_depth"]
+        assert gauge["type"] == "gauge"
+        assert gauge["samples"]["serve_queue_depth"] == 7.5
+        hist = parsed["serve_latency_ms"]
+        assert hist["type"] == "summary"
+        h = reg.histogram("serve.latency_ms")
+        assert hist["samples"]["serve_latency_ms_count"] == 4.0
+        assert hist["samples"]["serve_latency_ms_sum"] == h.total
+        for q in (0.5, 0.95, 0.99):
+            key = f'serve_latency_ms{{quantile="{q:g}"}}'
+            assert hist["samples"][key] == h.quantile(q)
+
+    def test_names_sanitized_to_grammar(self):
+        import re
+
+        from repro.obs.prometheus import prometheus_name
+
+        grammar = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+        for raw in ("serve.latency_ms", "moe.expert_ffn",
+                    "9starts-with-digit", "weird name!"):
+            assert grammar.match(prometheus_name(raw)), raw
+
+    def test_every_line_is_valid_exposition(self):
+        from repro.obs.prometheus import render_prometheus
+
+        text = render_prometheus(self._registry())
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            assert line.startswith("#") or " " in line
+
+    def test_parse_rejects_garbage(self):
+        from repro.obs.prometheus import parse_prometheus
+
+        with pytest.raises(ValueError):
+            parse_prometheus("!!! not prometheus !!!")
+        with pytest.raises(ValueError):
+            # A sample without its # TYPE header is malformed.
+            parse_prometheus("orphan_sample 1.0")
+
+    def test_empty_registry_renders_empty(self):
+        from repro.obs.prometheus import (
+            parse_prometheus,
+            render_prometheus,
+        )
+
+        assert render_prometheus(MetricsRegistry()) == ""
+        assert parse_prometheus("") == {}
+
+
+class TestFlowEvents:
+    def test_flow_chrome_export_carries_id_and_binding(self):
+        rec = TraceRecorder()
+        rec.span("batch 0", "serve", 0.010, 0.005,
+                 track="serve/engine")
+        rec.flow("req 3", "serve", "s", 0.001, flow_id=3,
+                 track="serve/requests")
+        rec.flow("req 3", "serve", "t", 0.005, flow_id=3,
+                 track="serve/requests")
+        rec.flow("req 3", "serve", "f", 0.010, flow_id=3,
+                 track="serve/engine")
+        chrome = rec.to_chrome_trace()
+        flows = [e for e in chrome["traceEvents"]
+                 if e.get("ph") in ("s", "t", "f")]
+        assert [e["ph"] for e in flows] == ["s", "t", "f"]
+        assert all(e["id"] == 3 for e in flows)
+        # Only the finish binds to the enclosing slice.
+        assert flows[2]["bp"] == "e"
+        assert "bp" not in flows[0] and "bp" not in flows[1]
+        # Timestamps convert to microseconds like every other phase.
+        assert flows[0]["ts"] == pytest.approx(1e3)
+
+    def test_flow_validates_phase(self):
+        rec = TraceRecorder()
+        with pytest.raises(ValueError):
+            rec.flow("x", "serve", "X", 0.0, flow_id=1)
+
+    def test_flow_jsonl_roundtrip(self):
+        rec = TraceRecorder()
+        rec.flow("req 1", "serve", "s", 0.25, flow_id=1,
+                 track="serve/requests", args={"tokens": 9})
+        back = TraceRecorder.loads_jsonl(rec.dumps_jsonl())
+        ev = back.events[0]
+        assert ev.phase == "s"
+        assert ev.args["flow_id"] == 1
+        assert ev.args["tokens"] == 9
+        assert ev.track == "serve/requests"

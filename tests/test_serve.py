@@ -1,0 +1,360 @@
+"""repro.serve — arrivals, batcher, ledger conservation, engine.
+
+The load-bearing contracts:
+
+* arrival traces are deterministic functions of (spec, seed);
+* the batch former closes on fill / deadline / drain correctly;
+* **ledger conservation is exact**: per request, the six spans sum to
+  the end-to-end latency, and per batch and stage the token-weighted
+  attributed shares sum to the stage wall — for every arrival process
+  and seed, under both the float32 and float64 substrates (the ledger
+  is integer arithmetic, so dtype must not matter);
+* the engine's modeled column is bit-identical across repeated runs
+  and reacts to the brownout window;
+* the forced-SLO-miss hook flips the verdict.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.substrate import set_default_dtype
+from repro.scenarios.engine import SLOCheck
+from repro.serve import (
+    ArrivalSpec,
+    Batch,
+    BatchFormer,
+    Request,
+    attribute_shares,
+    generate_arrivals,
+    get_workload,
+    serve_workload,
+    stage_sum,
+    workload_names,
+)
+from repro.serve.arrivals import NS
+from repro.serve.engine import price_stages
+from repro.serve.ledger import EXEC_STAGES, STAGES, build_batch_ledger
+from repro.serve.workloads import WORKLOADS
+
+
+@pytest.fixture(autouse=True)
+def _float32_default():
+    prev = set_default_dtype(np.float32)
+    yield
+    set_default_dtype(prev)
+
+
+def _spec(kind: str, horizon_s: float = 1.0) -> ArrivalSpec:
+    if kind == "poisson":
+        return ArrivalSpec(kind="poisson", horizon_s=horizon_s,
+                           rate=200.0)
+    if kind == "bursty":
+        return ArrivalSpec(kind="bursty", horizon_s=horizon_s,
+                           rate=100.0, burst_rate=600.0,
+                           on_s=0.2, off_s=0.3)
+    return ArrivalSpec(kind="diurnal", horizon_s=horizon_s, rate=60.0,
+                       peak_rate=500.0, period_s=0.5)
+
+
+class TestArrivals:
+    @pytest.mark.parametrize("kind", ["poisson", "bursty", "diurnal"])
+    def test_trace_is_deterministic(self, kind):
+        a = generate_arrivals(_spec(kind), seed=3)
+        b = generate_arrivals(_spec(kind), seed=3)
+        assert a == b
+        assert a != generate_arrivals(_spec(kind), seed=4)
+
+    @pytest.mark.parametrize("kind", ["poisson", "bursty", "diurnal"])
+    def test_trace_is_sorted_and_in_horizon(self, kind):
+        spec = _spec(kind)
+        trace = generate_arrivals(spec, seed=0)
+        assert trace, "horizon should produce requests"
+        arrivals = [r.arrival_ns for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= t <= spec.horizon_s * NS for t in arrivals)
+        assert all(spec.min_tokens <= r.tokens <= spec.max_tokens
+                   for r in trace)
+        assert [r.request_id for r in trace] == list(range(len(trace)))
+
+    def test_rate_roughly_matches(self):
+        spec = ArrivalSpec(kind="poisson", horizon_s=20.0, rate=100.0)
+        trace = generate_arrivals(spec, seed=0)
+        assert 0.8 * 2000 < len(trace) < 1.2 * 2000
+
+    def test_scaled_shrinks_horizon_only(self):
+        spec = _spec("poisson", horizon_s=2.0)
+        fast = spec.scaled(0.25)
+        assert fast.horizon_s == pytest.approx(0.5)
+        assert fast.rate == spec.rate
+        with pytest.raises(ValueError):
+            spec.scaled(0.0)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec(kind="weird", horizon_s=1.0, rate=1.0)
+        with pytest.raises(ValueError):
+            ArrivalSpec(kind="bursty", horizon_s=1.0, rate=10.0,
+                        burst_rate=5.0)
+        with pytest.raises(ValueError):
+            ArrivalSpec(kind="diurnal", horizon_s=1.0, rate=10.0,
+                        peak_rate=5.0, period_s=1.0)
+        with pytest.raises(ValueError):
+            Request(request_id=0, arrival_ns=0, tokens=0, seed=0)
+
+
+def _req(rid: int, at_ns: int, tokens: int = 8) -> Request:
+    return Request(request_id=rid, arrival_ns=at_ns, tokens=tokens,
+                   seed=rid)
+
+
+class TestBatchFormer:
+    def test_fill_closes_at_last_arrival(self):
+        former = BatchFormer(max_batch_size=2, max_wait_ns=1000)
+        reqs = [_req(0, 0), _req(1, 100), _req(2, 200)]
+        batch = former.next_batch(reqs, 0, free_ns=0, batch_id=0)
+        assert [r.request_id for r in batch.requests] == [0, 1]
+        assert batch.close_ns == 100  # fill: last member's arrival
+
+    def test_deadline_close(self):
+        former = BatchFormer(max_batch_size=8, max_wait_ns=1000)
+        reqs = [_req(0, 0), _req(1, 400), _req(2, 5000)]
+        batch = former.next_batch(reqs, 0, free_ns=0, batch_id=0)
+        assert [r.request_id for r in batch.requests] == [0, 1]
+        assert batch.close_ns == 1000  # deadline: eligible + max_wait
+
+    def test_drain_closes_immediately(self):
+        former = BatchFormer(max_batch_size=8, max_wait_ns=10_000)
+        reqs = [_req(0, 0), _req(1, 400)]
+        batch = former.next_batch(reqs, 0, free_ns=0, batch_id=0)
+        assert len(batch.requests) == 2
+        assert batch.close_ns == 400  # drain: no future arrivals
+
+    def test_wait_clock_starts_when_server_frees(self):
+        former = BatchFormer(max_batch_size=8, max_wait_ns=1000)
+        reqs = [_req(0, 0), _req(1, 2500), _req(2, 9999999)]
+        batch = former.next_batch(reqs, 0, free_ns=2000, batch_id=0)
+        # First member queued until free_ns=2000; deadline 3000 admits
+        # request 1 but not the far-future request 2.
+        assert [r.request_id for r in batch.requests] == [0, 1]
+        assert batch.close_ns == 3000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchFormer(max_batch_size=0, max_wait_ns=0)
+        with pytest.raises(ValueError):
+            BatchFormer(max_batch_size=1, max_wait_ns=-1)
+        with pytest.raises(ValueError):
+            Batch(batch_id=0, requests=(), free_ns=0, close_ns=0)
+        with pytest.raises(ValueError):
+            Batch(batch_id=0, requests=(_req(0, 100),), free_ns=50,
+                  close_ns=20)
+
+
+class TestLedgerConservation:
+    def test_attribute_shares_sums_exactly(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            n = int(rng.integers(1, 9))
+            tokens = [int(rng.integers(1, 33)) for _ in range(n)]
+            wall = int(rng.integers(0, 10**9))
+            shares = attribute_shares(wall, tokens)
+            assert sum(shares) == wall
+            assert all(s >= 0 for s in shares)
+
+    def test_attribute_shares_proportional_and_deterministic(self):
+        shares = attribute_shares(100, [1, 1, 2])
+        assert shares == [25, 25, 50]
+        # Remainder goes to the largest fractional part; FIFO on ties.
+        assert attribute_shares(10, [1, 1, 1]) == [4, 3, 3]
+        with pytest.raises(ValueError):
+            attribute_shares(-1, [1])
+        with pytest.raises(ValueError):
+            attribute_shares(10, [])
+        with pytest.raises(ValueError):
+            attribute_shares(10, [0, 1])
+
+    @pytest.mark.parametrize("kind", ["poisson", "bursty", "diurnal"])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_spans_sum_to_e2e_every_process_and_seed(self, kind, seed):
+        """The tentpole invariant, directly over the ledger layer."""
+        trace = generate_arrivals(_spec(kind, horizon_s=0.5), seed)
+        former = BatchFormer(max_batch_size=8, max_wait_ns=10**7)
+        rng = np.random.default_rng(seed)
+        free_ns, start, batch_id = 0, 0, 0
+        while start < len(trace):
+            batch = former.next_batch(trace, start, free_ns, batch_id)
+            walls = {s: int(rng.integers(0, 10**8))
+                     for s in EXEC_STAGES}
+            model_walls = {s: int(rng.integers(0, 10**8))
+                          for s in EXEC_STAGES}
+            ledger = build_batch_ledger(batch, walls, model_walls,
+                                        queue_depth=0)
+            for r in ledger.requests:
+                # Exact: integer nanoseconds, no float rounding.
+                assert stage_sum(r.spans) == r.e2e_ns
+                assert stage_sum(r.model_spans) == r.model_e2e_ns
+                assert r.spans["queue"] >= 0
+                assert r.spans["batch_wait"] >= 0
+                assert (r.spans["queue"] + r.spans["batch_wait"]
+                        == batch.close_ns - r.arrival_ns)
+            for s in EXEC_STAGES:
+                assert sum(r.shares[s] for r in ledger.requests) \
+                    == ledger.walls[s]
+                assert sum(r.model_shares[s]
+                           for r in ledger.requests) \
+                    == ledger.model_walls[s]
+            free_ns = ledger.done_ns
+            start += ledger.size
+            batch_id += 1
+        assert batch_id > 1
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_engine_conservation_under_both_dtypes(self, dtype):
+        """End-to-end through the real engine: conservation must hold
+        bit-exactly whichever substrate dtype serves the batches."""
+        prev = set_default_dtype(dtype)
+        try:
+            res = serve_workload(get_workload("bursty_spike"),
+                                 fast=True, seed=1)
+        finally:
+            set_default_dtype(prev)
+        assert res.requests
+        for r in res.requests:
+            assert stage_sum(r.spans) == r.e2e_ns
+            assert stage_sum(r.model_spans) == r.model_e2e_ns
+        for b in res.batches:
+            for s in EXEC_STAGES:
+                assert sum(r.shares[s] for r in b.requests) \
+                    == b.walls[s]
+                assert sum(r.model_shares[s] for r in b.requests) \
+                    == b.model_walls[s]
+
+    def test_stage_names(self):
+        assert STAGES == ("queue", "batch_wait", "gate", "dispatch",
+                          "expert", "combine")
+        assert EXEC_STAGES == ("gate", "dispatch", "expert", "combine")
+
+
+class TestPricing:
+    def test_prices_are_positive_ints_and_scale_with_tokens(self):
+        wl = get_workload("poisson_steady")
+        small = price_stages(wl, tokens=8)
+        big = price_stages(wl, tokens=256)
+        for s in EXEC_STAGES:
+            assert isinstance(small[s], int) and small[s] > 0
+            assert big[s] > small[s]
+
+    def test_brownout_derates_only_comm_stages(self):
+        wl = get_workload("poisson_steady")
+        nominal = price_stages(wl, tokens=64)
+        browned = price_stages(wl, tokens=64, comm_derate=0.25)
+        assert browned["gate"] == nominal["gate"]
+        assert browned["expert"] == nominal["expert"]
+        assert browned["dispatch"] > nominal["dispatch"]
+        assert browned["combine"] > nominal["combine"]
+        with pytest.raises(ValueError):
+            price_stages(wl, tokens=64, comm_derate=0.0)
+        with pytest.raises(ValueError):
+            price_stages(wl, tokens=0)
+
+
+class TestEngine:
+    def test_model_column_deterministic_across_runs(self):
+        wl = get_workload("poisson_steady")
+        a = serve_workload(wl, fast=True, seed=0)
+        b = serve_workload(wl, fast=True, seed=0)
+        ma = [(m.name, m.value) for m in a.metrics
+              if m.kind == "model"]
+        mb = [(m.name, m.value) for m in b.metrics
+              if m.kind == "model"]
+        assert ma == mb
+        assert [r.model_e2e_ns for r in a.requests] \
+            == [r.model_e2e_ns for r in b.requests]
+        assert a.expert_load == b.expert_load
+
+    def test_emits_percentiles_goodput_and_checks(self):
+        res = serve_workload(get_workload("poisson_steady"),
+                             fast=True, seed=0)
+        names = {m.name for m in res.metrics}
+        assert {"model_p50_ms", "model_p95_ms", "model_p99_ms",
+                "goodput_rps", "slo_pass", "requests",
+                "measured_p99_ms", "wall_seconds"} <= names
+        p50 = res.metric("model_p50_ms").value
+        p99 = res.metric("model_p99_ms").value
+        assert 0 < p50 <= p99
+        assert res.metric("goodput_rps").value > 0
+        kinds = {c.name.split(".")[-1] for c in res.checks}
+        assert {"model_p99_ms", "goodput_rps"} <= kinds
+        # Modeled metrics gate with tolerance 0 — the determinism
+        # contract of BENCH_serving.json.
+        assert res.metric("model_p99_ms").tolerance == 0.0
+        assert res.metric("model_p99_ms").kind == "model"
+        assert res.metric("measured_p99_ms").kind == "measured"
+
+    def test_forced_slo_miss(self):
+        res = serve_workload(get_workload("poisson_steady"),
+                             fast=True, seed=0, p99_slo_ms=1e-6)
+        assert not res.passed
+        assert res.metric("slo_pass").value == 0.0
+        miss = [c for c in res.checks
+                if c.name.endswith("model_p99_ms")][0]
+        assert not miss.passed and miss.bound == 1e-6
+
+    def test_brownout_inflates_latency_and_emits_fault_events(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path))
+        wl = get_workload("brownout_surge")
+        res = serve_workload(wl, fast=True, seed=0)
+        calm = serve_workload(
+            get_workload("poisson_steady"), fast=True, seed=0)
+        assert res.metric("model_p99_ms").value \
+            > calm.metric("model_p99_ms").value
+        from repro.obs.runs import RunStore
+        store = RunStore(tmp_path)
+        run_id = store.run_ids()[0]
+        kinds = {e.get("kind") for e in store.events(run_id)}
+        assert {"serve", "serve_batch", "serve_request",
+                "serving_load", "slo_check", "fault",
+                "recovery"} <= kinds
+        manifest = store.manifest(run_id)
+        assert manifest.summary["serve.workload"] == "brownout_surge"
+        assert manifest.summary["serve.requests"] == len(res.requests)
+
+    def test_expert_load_statistic_shape(self):
+        wl = get_workload("poisson_steady")
+        res = serve_workload(wl, fast=True, seed=0)
+        assert len(res.expert_load) == wl.num_layers
+        assert all(len(row) == wl.num_experts
+                   for row in res.expert_load)
+        total_routed = sum(sum(row) for row in res.expert_load)
+        assert total_routed > 0
+
+    def test_slo_check_semantics(self):
+        assert SLOCheck("x", 1.0, 2.0, "<=").passed
+        assert not SLOCheck("x", 3.0, 2.0, "<=").passed
+        assert SLOCheck("x", 3.0, 2.0, ">=").passed
+
+
+class TestWorkloadRegistry:
+    def test_names_and_lookup(self):
+        names = workload_names()
+        assert {"poisson_steady", "bursty_spike", "diurnal_cycle",
+                "brownout_surge"} == set(names)
+        assert names == sorted(names)
+        with pytest.raises(KeyError):
+            get_workload("nope")
+
+    def test_fast_keeps_brownout_window_in_horizon(self):
+        wl = WORKLOADS["brownout_surge"].resolved(fast=True)
+        assert wl.brownout is not None
+        assert wl.brownout.step < wl.arrival.horizon_s
+
+    def test_resolved_overrides(self):
+        wl = WORKLOADS["poisson_steady"]
+        fast = wl.resolved(fast=True, seed=9)
+        assert fast.seed == 9
+        assert fast.arrival.horizon_s \
+            == pytest.approx(wl.arrival.horizon_s * wl.fast_factor)
+        assert wl.resolved() is wl
