@@ -402,6 +402,14 @@ def _cmd_runs(args) -> int:
     elif args.runs_command == "show":
         import json as _json
         run_id = store.resolve(args.run)
+        if getattr(args, "events", None):
+            shown = 0
+            for event in store.iter_events(run_id, kind=args.events):
+                print(_json.dumps(event, sort_keys=True))
+                shown += 1
+            if not shown:
+                print(f"(run {run_id} has no {args.events!r} events)")
+            return 0
         manifest = store.manifest(run_id)
         print(_json.dumps(manifest.to_json_obj(), indent=1,
                           sort_keys=True))
@@ -599,6 +607,80 @@ def _cmd_serve(name: str | None, list_only: bool, run_all: bool,
     finally:
         obs.disable()
     return 0 if all(r.passed for r in results) else 1
+
+
+def _cmd_route(run: str, fast: bool, seed: int, runs_dir: str | None,
+               num_gpus: int, gpus_per_node: int,
+               bytes_per_token: int | None,
+               prometheus_path: str | None) -> int:
+    """Routing provenance report + placement what-if hop ledger.
+
+    ``--fast`` mines a seeded synthetic Markov trace (bit-identical
+    across machines — the mode that emits the tolerance-0
+    ``BENCH_routing.json``); otherwise the profile is aggregated from
+    a recorded run's ``routing_load``/``routing_affinity`` events.
+    Either way the same recorded traffic is re-priced under every
+    candidate placement on the scoring topology, no model re-run.
+    """
+    from repro import obs
+    from repro.cluster.topology import ndv4_topology
+    from repro.core.substrate import default_itemsize
+    from repro.obs.routing import (
+        emit_routing,
+        profile_from_events,
+        record_gauges,
+        render_routing,
+        synthetic_profile,
+        whatif_placements,
+    )
+
+    # All committed workloads/demo models route model_dim=32 tokens;
+    # override with --bytes-per-token for anything else.
+    model_dim = 32
+    if bytes_per_token is None:
+        bytes_per_token = model_dim * default_itemsize()
+
+    if fast:
+        profile = synthetic_profile(seed)
+        config = {"mode": "fast", "seed": seed, "num_layers": 3,
+                  "num_experts": 8, "tokens_per_step": 512, "steps": 8,
+                  "top_k": 2, "num_gpus": num_gpus,
+                  "gpus_per_node": gpus_per_node,
+                  "bytes_per_token": bytes_per_token}
+        print(f"[route] synthetic profile (seed {seed})")
+    else:
+        from repro.obs.runs import RunStore
+        store = RunStore(runs_dir)
+        run_id = store.resolve(run)
+        profile = profile_from_events(store.events(run_id))
+        config = None
+        print(f"[route] aggregated run {run_id}")
+
+    topo = ndv4_topology(num_gpus, gpus_per_node=gpus_per_node)
+    scores = whatif_placements(profile, topo,
+                               bytes_per_token=bytes_per_token)
+    print(render_routing(profile, scores))
+    bad = [s.name for s in scores
+           if not s.ledger.conserves(profile.total_dispatched)]
+    if bad:
+        print(f"[route] HOP CONSERVATION VIOLATED for: "
+              f"{', '.join(bad)}")
+        return 1
+
+    ob = obs.enable()
+    try:
+        record_gauges(ob, profile, scores)
+        if fast:
+            emit_routing(profile, scores, config=config, verbose=True)
+        if prometheus_path:
+            from repro.obs.prometheus import render_prometheus
+            with open(prometheus_path, "w") as fh:
+                fh.write(render_prometheus(ob.registry))
+            print(f"[obs] wrote prometheus exposition to "
+                  f"{prometheus_path}")
+    finally:
+        obs.disable()
+    return 0
 
 
 def _profile_run_ctx(kind: str, config: dict):
@@ -924,6 +1006,35 @@ def main(argv: list[str] | None = None) -> int:
     serve_cmd.add_argument("--trace", default=None,
                            help="write the Chrome trace (request flow "
                                 "events + batch stage spans) here")
+    route_cmd = sub.add_parser(
+        "route",
+        help="routing provenance: load/affinity profile + placement "
+             "what-if hop ledger")
+    route_cmd.add_argument("run", nargs="?", default="latest",
+                           help="run id, unique prefix, or 'latest' "
+                                "(ignored with --fast)")
+    route_cmd.add_argument("--fast", action="store_true",
+                           help="seeded synthetic traffic (bit-stable; "
+                                "emits BENCH_routing.json)")
+    route_cmd.add_argument("--seed", type=int, default=0,
+                           help="synthetic-traffic seed (default 0)")
+    route_cmd.add_argument("--dir", default=None,
+                           help="registry root (default: "
+                                "$REPRO_RUNS_DIR or .repro_runs)")
+    route_cmd.add_argument("--gpus", type=int, default=4,
+                           help="scoring-world size (default 4)")
+    route_cmd.add_argument("--gpus-per-node", type=int, default=2,
+                           dest="gpus_per_node",
+                           help="GPUs per node in the scoring world "
+                                "(default 2)")
+    route_cmd.add_argument("--bytes-per-token", type=int, default=None,
+                           dest="bytes_per_token",
+                           help="dispatch payload bytes per token-hop "
+                                "(default: model_dim 32 x substrate "
+                                "itemsize)")
+    route_cmd.add_argument("--prometheus", default=None,
+                           help="write the routing gauges in prometheus "
+                                "text exposition here")
     runs_cmd = sub.add_parser(
         "runs", help="query the persistent run registry")
     runs_sub = runs_cmd.add_subparsers(dest="runs_command",
@@ -937,6 +1048,10 @@ def main(argv: list[str] | None = None) -> int:
         "show", help="manifest + event summary of one run")
     runs_show.add_argument("run",
                            help="run id, unique prefix, or 'latest'")
+    runs_show.add_argument("--events", default=None, metavar="KIND",
+                           help="print only this event kind as JSONL "
+                                "(e.g. routing_affinity) instead of "
+                                "the summary")
     runs_show.add_argument("--dir", **runs_dir_kwargs)
     runs_diff = runs_sub.add_parser(
         "diff", help="metric deltas between two runs")
@@ -1027,6 +1142,13 @@ def main(argv: list[str] | None = None) -> int:
                               args.prometheus, args.trace)
         except KeyError as exc:
             raise SystemExit(f"repro serve: {exc.args[0]}") from exc
+    elif args.command == "route":
+        try:
+            return _cmd_route(args.run, args.fast, args.seed, args.dir,
+                              args.gpus, args.gpus_per_node,
+                              args.bytes_per_token, args.prometheus)
+        except KeyError as exc:
+            raise SystemExit(f"repro route: {exc.args[0]}") from exc
     elif args.command == "runs":
         try:
             return _cmd_runs(args)

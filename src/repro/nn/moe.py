@@ -104,6 +104,10 @@ class MoE(Module):
         # run-registry events and health detectors read this, so it is
         # computed unconditionally (cheap next to the expert GEMMs).
         self.last_routing_stats: RoutingStats | None = None
+        # Raw routing decisions of the latest forward — the routing
+        # provenance recorder (repro.obs.routing) folds these into
+        # per-source dispatch counts and inter-layer affinity matrices.
+        self.last_routing_criteria: RoutingCriteria | None = None
 
         # Experts masked out of gating (graceful degradation path).
         self.failed_experts: set[int] = set()
@@ -214,6 +218,7 @@ class MoE(Module):
             crit.gates = crit.valid.astype(x.data.dtype)
 
         self.last_routing_stats = routing_stats(crit, probs.data)
+        self.last_routing_criteria = crit
         ob = get_observer()
         if ob is not None:
             ob.record_routing(self.last_routing_stats)

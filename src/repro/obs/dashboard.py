@@ -167,6 +167,11 @@ class RunSeries:
         self.serve_begin: dict | None = None
         self.serve_batches: list[dict] = []
         self.serving_load: dict | None = None
+        # Routing-provenance payloads ("routing_load" /
+        # "routing_affinity"); the recorder emits running totals, so
+        # the last event of each kind is the run's aggregate.
+        self.routing_load: dict | None = None
+        self.routing_affinity: dict | None = None
 
     @property
     def layers(self) -> list[int]:
@@ -217,6 +222,10 @@ def build_series(events: Iterable[Mapping]) -> RunSeries:
             series.serve_batches.append(dict(data))
         elif kind == "serving_load":
             series.serving_load = dict(data)
+        elif kind == "routing_load":
+            series.routing_load = dict(data)
+        elif kind == "routing_affinity":
+            series.routing_affinity = dict(data)
     return series
 
 
@@ -364,6 +373,104 @@ def _share_bars(items: Sequence[tuple[str, float]],
             f'font-size="11" fill="var(--muted)">{share:.1%}</text>')
     out.append("</svg>")
     return "".join(out)
+
+
+def _matrix_heatmap(matrix: Sequence[Sequence[float]],
+                    row_prefix: str = "E",
+                    col_prefix: str = "E") -> str:
+    """Square count matrix (rows = source expert, columns =
+    destination expert) on the sequential blue ramp; an all-zero
+    matrix renders every cell at the lightest step."""
+    if not matrix or not matrix[0]:
+        return '<p class="empty">no affinity transitions recorded</p>'
+    n_rows = len(matrix)
+    n_cols = max(len(row) for row in matrix)
+    peak = max((max(row) if row else 0.0) for row in matrix)
+    pad_l, pad_t = 44, 18
+    cell = max(8, min(26, 480 // max(1, n_cols)))
+    gap = 2
+    width = pad_l + n_cols * (cell + gap) + 10
+    height = pad_t + n_rows * (cell + gap) + 8
+    out = [f'<svg viewBox="0 0 {width} {height}" width="100%" '
+           f'role="img">']
+    for j in range(n_cols):
+        out.append(
+            f'<text x="{pad_l + j * (cell + gap) + cell / 2:.1f}" '
+            f'y="{pad_t - 5}" text-anchor="middle" font-size="9" '
+            f'fill="var(--muted)">{_esc(col_prefix)}{j}</text>')
+    for i, row in enumerate(matrix):
+        cy = pad_t + i * (cell + gap)
+        out.append(f'<text x="{pad_l - 6}" y="{cy + cell - 3}" '
+                   f'text-anchor="end" font-size="9" '
+                   f'fill="var(--muted)">{_esc(row_prefix)}{i}</text>')
+        for j in range(n_cols):
+            value = float(row[j]) if j < len(row) else 0.0
+            idx = 0 if peak <= 0 else round(
+                value / peak * (len(_RAMP) - 1))
+            out.append(
+                f'<rect x="{pad_l + j * (cell + gap)}" y="{cy}" '
+                f'width="{cell}" height="{cell}" rx="2" '
+                f'fill="{_RAMP[idx]}">'
+                f'<title>{_esc(row_prefix)}{i} → {_esc(col_prefix)}{j}: '
+                f'{_esc(_fmt(value))} tokens</title></rect>')
+    out.append("</svg>")
+    return "".join(out)
+
+
+def _routing_panels(series: RunSeries) -> list[str]:
+    """Routing-provenance panels: the inter-layer expert-affinity
+    heatmap plus a hop-locality breakdown of the recorded traffic
+    re-priced on the default 2-node scoring world (the same
+    `repro route` uses); runs whose shapes have no legal placement on
+    that world just skip the hop panels."""
+    panels: list[str] = []
+    affinity = series.routing_affinity or {}
+    transitions = affinity.get("transitions") or []
+    if transitions:
+        summed = None
+        for pair in transitions:
+            if summed is None:
+                summed = [[float(v) for v in row] for row in pair]
+            else:
+                for i, row in enumerate(pair):
+                    for j, v in enumerate(row):
+                        summed[i][j] += float(v)
+        panels.append(_panel(
+            "routing · inter-layer expert affinity (rows: expert at "
+            "layer l, columns: expert at l+1, summed over layer pairs)",
+            _matrix_heatmap(summed or [])))
+    if series.routing_load:
+        try:
+            from repro.cluster.topology import ndv4_topology
+            from repro.core.substrate import default_itemsize
+            from repro.obs.routing import (
+                profile_from_events,
+                whatif_placements,
+            )
+
+            events = [{"kind": "routing_load",
+                       "data": series.routing_load}]
+            if series.routing_affinity:
+                events.append({"kind": "routing_affinity",
+                               "data": series.routing_affinity})
+            profile = profile_from_events(events)
+            scores = whatif_placements(
+                profile, ndv4_topology(4, gpus_per_node=2),
+                bytes_per_token=32 * default_itemsize())
+        except ValueError:
+            scores = []
+        for score in scores:
+            led = score.ledger
+            panels.append(_panel(
+                f"routing · token-hop locality under "
+                f"{score.name} ({led.num_gpus} GPUs, priced "
+                f"{led.priced_seconds * 1e3:.4f} ms inter-node)",
+                _share_bars([
+                    ("intra-GPU", float(led.intra_gpu)),
+                    ("intra-node", float(led.intra_node)),
+                    ("inter-node", float(led.inter_node)),
+                ])))
+    return panels
 
 
 def _serving_panels(series: RunSeries) -> list[str]:
@@ -604,6 +711,16 @@ def render_dashboard(store: RunStore, token: str = "latest") -> str:
             str(max(int(b.get("queue_depth", 0))
                     for b in series.serve_batches))))
         panels.extend(_serving_panels(series))
+
+    if series.routing_load:
+        tiles.append(_tile(
+            "dispatched slots",
+            str(int(sum(sum(int(v) for v in bucket)
+                        for layer_rows in
+                        (series.routing_load.get("dispatched") or [])
+                        for bucket in layer_rows))),
+            note="post-drop"))
+    panels.extend(_routing_panels(series))
 
     for layer in series.layers:
         lmarkers = [(a.get("step", 0), a.get("severity", "warn"),

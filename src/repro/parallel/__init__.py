@@ -8,7 +8,11 @@ from repro.parallel.functional import (
     shard_expert_columns,
     slice_expert_zero,
 )
-from repro.parallel.placement import ExpertPlacement, build_placement
+from repro.parallel.placement import (
+    ExpertPlacement,
+    build_placement,
+    round_robin_placement,
+)
 from repro.parallel.router import InlineParallelismRouter, RouterDecision
 from repro.parallel.strategy import (
     Parallelism,
@@ -29,6 +33,7 @@ __all__ = [
     "slice_expert_zero",
     "ExpertPlacement",
     "build_placement",
+    "round_robin_placement",
     "InlineParallelismRouter",
     "RouterDecision",
     "Parallelism",

@@ -10,15 +10,20 @@ A single integer argument describes how global experts map onto GPUs:
 
 ``count_per_node`` only changes throughput characteristics, never the
 training algorithm: the same global experts exist either way.
+
+Beyond the ``count_per_node`` family, :func:`round_robin_placement`
+builds the strided layout (expert ``e`` on GPU ``e % n``) the routing
+what-if scorer (:mod:`repro.obs.routing`) compares placements against.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = [
     "ExpertPlacement",
     "build_placement",
+    "round_robin_placement",
 ]
 
 
@@ -36,6 +41,11 @@ class ExpertPlacement:
         How many GPUs each expert is split over (1 = whole experts).
     gpu_to_experts:
         For each GPU, the list of ``(expert, shard)`` pairs it hosts.
+    expert_to_gpus:
+        Inverse index, derived in ``__post_init__``: for each expert,
+        the GPUs hosting one of its shards, in rank order.  Makes
+        :meth:`gpus_of_expert` O(shards) instead of a linear scan over
+        the world — the hop ledger calls it per (layer, expert).
     """
 
     num_gpus: int
@@ -43,6 +53,24 @@ class ExpertPlacement:
     experts_per_gpu: float
     shards_per_expert: int
     gpu_to_experts: tuple[tuple[tuple[int, int], ...], ...]
+    expert_to_gpus: tuple[tuple[int, ...], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        hosts: list[list[int]] = [[] for _ in range(self.num_global_experts)]
+        for g, hosted in enumerate(self.gpu_to_experts):
+            for e, _shard in hosted:
+                if not 0 <= e < self.num_global_experts:
+                    raise ValueError(
+                        f"gpu {g} hosts expert {e}, outside "
+                        f"[0, {self.num_global_experts})")
+                if g not in hosts[e]:
+                    hosts[e].append(g)
+        index = tuple(tuple(sorted(gpus)) for gpus in hosts)
+        if self.expert_to_gpus and self.expert_to_gpus != index:
+            raise ValueError(
+                "expert_to_gpus disagrees with gpu_to_experts; leave it "
+                "unset to have it derived")
+        object.__setattr__(self, "expert_to_gpus", index)
 
     def gpus_of_expert(self, expert: int) -> list[int]:
         """All GPUs hosting (a shard of) ``expert``."""
@@ -50,8 +78,7 @@ class ExpertPlacement:
             raise ValueError(
                 f"expert {expert} out of range "
                 f"[0, {self.num_global_experts})")
-        return [g for g, hosted in enumerate(self.gpu_to_experts)
-                if any(e == expert for e, _ in hosted)]
+        return list(self.expert_to_gpus[expert])
 
 
 def build_placement(num_gpus: int, count_per_node: int) -> ExpertPlacement:
@@ -87,4 +114,31 @@ def build_placement(num_gpus: int, count_per_node: int) -> ExpertPlacement:
     return ExpertPlacement(
         num_gpus=num_gpus, num_global_experts=num_experts,
         experts_per_gpu=1.0 / shards, shards_per_expert=shards,
+        gpu_to_experts=gpu_to_experts)
+
+
+def round_robin_placement(num_gpus: int,
+                          num_experts: int) -> ExpertPlacement:
+    """Strided whole-expert layout: expert ``e`` lives on GPU ``e % n``.
+
+    The classic baseline placement the MoETuner-style what-if scorer
+    compares ``count_per_node`` blocks against: consecutive experts land
+    on *different* GPUs (and, past ``gpus_per_node``, different nodes),
+    so runs with strong inter-layer expert affinity pay more cross-node
+    hops than under the contiguous layout.  Requires ``num_gpus`` to
+    divide ``num_experts`` so every GPU hosts the same expert count.
+    """
+    if num_gpus < 1:
+        raise ValueError(f"num_gpus must be >= 1, got {num_gpus}")
+    if num_experts < 1 or num_experts % num_gpus != 0:
+        raise ValueError(
+            f"num_experts ({num_experts}) must be a positive multiple "
+            f"of num_gpus ({num_gpus})")
+    per_gpu = num_experts // num_gpus
+    gpu_to_experts = tuple(
+        tuple((g + j * num_gpus, 0) for j in range(per_gpu))
+        for g in range(num_gpus))
+    return ExpertPlacement(
+        num_gpus=num_gpus, num_global_experts=num_experts,
+        experts_per_gpu=float(per_gpu), shards_per_expert=1,
         gpu_to_experts=gpu_to_experts)

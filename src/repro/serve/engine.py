@@ -38,6 +38,7 @@ from repro.obs import CAT_SERVE, Observer, get_observer
 from repro.obs import enable as obs_enable
 from repro.obs import disable as obs_disable
 from repro.obs.registry import Histogram
+from repro.obs.routing import RoutingRecorder
 from repro.obs.runs import RunWriter, env_runs_root, get_run, set_run
 from repro.scenarios.engine import SLOCheck
 from repro.serve.arrivals import NS, generate_arrivals
@@ -293,6 +294,7 @@ def _serve_loop(wl: ServeWorkload, requests, result: ServeResult,
     loads = [[0] * wl.num_experts for _ in range(wl.num_layers)]
     dropped_tokens = 0
     routed_tokens = 0
+    routing_rec = RoutingRecorder(wl.num_layers, wl.num_experts)
 
     hist_model = Histogram(f"serve.{wl.name}.model_ms")
     hist_measured = Histogram(f"serve.{wl.name}.measured_ms")
@@ -325,8 +327,10 @@ def _serve_loop(wl: ServeWorkload, requests, result: ServeResult,
                  for r in batch.requests]
         x = Tensor(np.concatenate(parts, axis=0))
         before = _measured_walls(ob)
+        batch_crits = []
         for li, layer in enumerate(layers):
             x, _ = layer.forward(x)
+            batch_crits.append(layer.last_routing_criteria)
             stats = layer.last_routing_stats
             if stats is not None:
                 for e, n in enumerate(stats.expert_load):
@@ -334,6 +338,10 @@ def _serve_loop(wl: ServeWorkload, requests, result: ServeResult,
                 routed_tokens += stats.num_tokens
                 dropped_tokens += round(stats.dropped_fraction
                                         * stats.num_tokens)
+        if all(c is not None for c in batch_crits):
+            routing_rec.observe_batch(batch_crits)
+            if run is not None:
+                routing_rec.emit(run, step=batch_id)
         after = _measured_walls(ob)
         walls = {s: max(0, round((after[s] - before[s]) * NS))
                  for s in EXEC_STAGES}

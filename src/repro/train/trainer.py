@@ -233,6 +233,7 @@ def _train_loop(model: Module, train: TokenBatch, test: TokenBatch, *,
         result.capacity_traces[i] = []
 
     run = get_run()
+    routing_rec = None
     if run is not None:
         result.run_id = run.manifest.run_id
         if health is None:
@@ -363,6 +364,16 @@ def _train_loop(model: Module, train: TokenBatch, test: TokenBatch, *,
             result.health_alerts.extend(
                 health.observe_step(step, loss=loss_val,
                                     grad_norm=gnorm))
+        if run is not None and moe_layers:
+            crits = [layer.last_routing_criteria
+                     for layer in moe_layers]
+            if all(c is not None for c in crits):
+                if routing_rec is None:
+                    from repro.obs.routing import RoutingRecorder
+                    routing_rec = RoutingRecorder(
+                        len(moe_layers), crits[0].num_experts)
+                routing_rec.observe_batch(crits)
+                routing_rec.emit(run, step=step)
 
         completed = step + 1
         if (checkpoint_every is not None

@@ -375,3 +375,127 @@ class TestServeCommand:
         assert "serve.slo_pass" in out
         # SLO verdict lines ride along.
         assert "[PASS] poisson_steady.model_p99_ms" in out
+
+
+class TestRouteCommand:
+    def test_route_fast_prints_whatif_table(self, capsys):
+        assert main(["route", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "synthetic profile (seed 0)" in out
+        assert "placement what-if" in out
+        assert "round_robin" in out and "contiguous_x2" in out
+        assert "self-affinity" in out
+
+    def test_route_fast_emits_bench_artifact(self, tmp_path, capsys,
+                                             monkeypatch):
+        bench_dir = tmp_path / "bench"
+        bench_dir.mkdir()
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(bench_dir))
+        assert main(["route", "--fast"]) == 0
+        payload = json.loads(
+            (bench_dir / "BENCH_routing.json").read_text())
+        assert payload["artifact"] == "routing"
+        assert payload["config"]["mode"] == "fast"
+        by_name = {m["name"]: m for m in payload["metrics"]}
+        for name in ("tokens", "load_gini", "self_affinity",
+                     "round_robin.inter_node_hops",
+                     "contiguous_x2.priced_ms"):
+            assert name in by_name
+            assert by_name[name]["tolerance"] == 0
+            assert by_name[name]["kind"] == "model"
+
+    def test_route_fast_is_deterministic(self, tmp_path, capsys,
+                                         monkeypatch):
+        records = []
+        for sub in ("a", "b"):
+            bench_dir = tmp_path / sub
+            bench_dir.mkdir()
+            monkeypatch.setenv("REPRO_BENCH_DIR", str(bench_dir))
+            assert main(["route", "--fast"]) == 0
+            payload = json.loads(
+                (bench_dir / "BENCH_routing.json").read_text())
+            records.append([(m["name"], m["value"])
+                            for m in payload["metrics"]])
+        assert records[0] == records[1]
+
+    def test_route_fast_matches_committed_baseline(self, tmp_path,
+                                                   capsys,
+                                                   monkeypatch):
+        from pathlib import Path
+
+        baseline_path = (Path(__file__).resolve().parent.parent
+                         / "benchmarks" / "baselines"
+                         / "BENCH_routing.json")
+        baseline = json.loads(baseline_path.read_text())
+        bench_dir = tmp_path / "bench"
+        bench_dir.mkdir()
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(bench_dir))
+        assert main(["route", "--fast"]) == 0
+        payload = json.loads(
+            (bench_dir / "BENCH_routing.json").read_text())
+        assert payload["fingerprint"] == baseline["fingerprint"]
+        current = {m["name"]: m["value"] for m in payload["metrics"]}
+        for m in baseline["metrics"]:
+            assert current[m["name"]] == m["value"], m["name"]
+
+    def test_route_writes_prometheus_gauges(self, tmp_path, capsys):
+        prom = tmp_path / "route.prom"
+        assert main(["route", "--fast",
+                     "--prometheus", str(prom)]) == 0
+        from repro.obs.prometheus import parse_prometheus
+        parsed = parse_prometheus(prom.read_text())
+        assert parsed["routing_load_gini"]["samples"][
+            "routing_load_gini"] > 0
+        assert any(name.startswith("routing_whatif_")
+                   for name in parsed)
+
+    def test_route_aggregates_recorded_run(self, tmp_path, capsys,
+                                           monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path))
+        assert main(["serve", "poisson_steady", "--fast",
+                     "--seed", "0"]) == 0
+        capsys.readouterr()
+        assert main(["route", "latest", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "aggregated run" in out
+        assert "placement what-if" in out
+
+    def test_route_without_runs_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["route", "latest", "--dir",
+                  str(tmp_path / "none")])
+
+
+class TestRunsShowEventsFilter:
+    def test_filter_prints_matching_events_as_jsonl(self, tmp_path,
+                                                    capsys):
+        from repro.obs.runs import RunWriter
+
+        w = RunWriter.create(root=tmp_path, run_id="f1", seed=0,
+                             config={"kind": "train"}, created_at=1.0)
+        w.emit("step", step=0, data={"loss": 1.0})
+        w.emit("routing_affinity", step=0,
+               data={"schema": 1, "transitions": [[[1]]]})
+        w.emit("routing_affinity", step=1,
+               data={"schema": 1, "transitions": [[[2]]]})
+        w.finalize(summary={})
+        assert main(["runs", "show", "f1", "--dir", str(tmp_path),
+                     "--events", "routing_affinity"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 2
+        events = [json.loads(line) for line in out]
+        assert all(e["kind"] == "routing_affinity" for e in events)
+        assert events[1]["data"]["transitions"] == [[[2]]]
+        # The manifest dump is suppressed in filter mode.
+        assert not any("run_id" in line for line in out)
+
+    def test_filter_with_no_matches_says_so(self, tmp_path, capsys):
+        from repro.obs.runs import RunWriter
+
+        w = RunWriter.create(root=tmp_path, run_id="f2", seed=0,
+                             config={"kind": "train"}, created_at=1.0)
+        w.emit("step", step=0, data={"loss": 1.0})
+        w.finalize(summary={})
+        assert main(["runs", "show", "f2", "--dir", str(tmp_path),
+                     "--events", "routing_load"]) == 0
+        assert "no 'routing_load' events" in capsys.readouterr().out

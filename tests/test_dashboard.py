@@ -400,3 +400,111 @@ class TestServingPanels:
         doc = render_dashboard(RunStore(tmp_path), res.run_id)
         check_well_formed(doc)
         assert "latency share by stage" in doc
+
+
+def populate_routing_run(root, run_id="rt1", *, zero_affinity=False,
+                         empty_loads=False, steps=4):
+    """A run carrying routing-provenance events (running totals, as
+    the recorder emits them), with switches for the degenerate shapes
+    the panels must survive."""
+    writer = RunWriter.create(root=root, run_id=run_id, seed=0,
+                              config={"kind": "train"}, created_at=3.0)
+    num_experts, num_layers, buckets = 4, 2, 16
+    for step in range(steps):
+        writer.begin_step(step)
+        scale = 0 if empty_loads else step + 1
+        loads = [[scale * (e + 1) for e in range(num_experts)]
+                 for _ in range(num_layers)]
+        dispatched = [[[scale if b < 4 else 0
+                        for _ in range(num_experts)]
+                       for b in range(buckets)]
+                      for _ in range(num_layers)]
+        transitions = [[[0 if zero_affinity else scale
+                         for _ in range(num_experts)]
+                        for _ in range(num_experts)]]
+        writer.emit("routing", data={
+            "layer": 0, "entropy": 0.9, "gini": 0.1,
+            "dropped_fraction": 0.0, "needed_capacity_factor": 1.0,
+            "expert_load": [] if empty_loads
+            else [8] * num_experts})
+        writer.emit("step", data={"loss": 1.0, "accuracy": 0.5,
+                                  "grad_norm": 1.0})
+        writer.emit("routing_load", step=step, data={
+            "schema": 1, "num_layers": num_layers,
+            "num_experts": num_experts, "src_buckets": buckets,
+            "batches": step + 1, "tokens": 32 * (step + 1),
+            "loads": loads, "dispatched": dispatched})
+        writer.emit("routing_affinity", step=step, data={
+            "schema": 1, "num_layers": num_layers,
+            "num_experts": num_experts, "batches": step + 1,
+            "tokens": 32 * (step + 1), "transitions": transitions})
+    writer.finalize(summary={"final_train_loss": 1.0})
+    return writer
+
+
+class TestRoutingPanels:
+    def test_routing_events_folded_into_series(self, tmp_path):
+        populate_routing_run(tmp_path)
+        series = build_series(RunStore(tmp_path).events("rt1"))
+        # Running totals: the last payload wins.
+        assert series.routing_load["batches"] == 4
+        assert series.routing_affinity["tokens"] == 128
+
+    def test_affinity_heatmap_and_hop_breakdown_render(self, tmp_path):
+        populate_routing_run(tmp_path)
+        doc = render_dashboard(RunStore(tmp_path), "rt1")
+        check_well_formed(doc)
+        assert "inter-layer expert affinity" in doc
+        assert "token-hop locality" in doc
+        assert "intra-GPU" in doc and "inter-node" in doc
+        assert "dispatched slots" in doc
+
+    def test_all_zero_affinity_matrix_renders(self, tmp_path):
+        populate_routing_run(tmp_path, zero_affinity=True)
+        doc = render_dashboard(RunStore(tmp_path), "rt1")
+        check_well_formed(doc)
+        assert "inter-layer expert affinity" in doc
+
+    def test_empty_expert_load_rows_render(self, tmp_path):
+        populate_routing_run(tmp_path, empty_loads=True)
+        doc = render_dashboard(RunStore(tmp_path), "rt1")
+        check_well_formed(doc)
+        assert "no expert-load records" in doc
+
+    def test_single_step_run_renders(self, tmp_path):
+        populate_routing_run(tmp_path, steps=1)
+        doc = render_dashboard(RunStore(tmp_path), "rt1")
+        check_well_formed(doc)
+        assert "inter-layer expert affinity" in doc
+
+    def test_run_without_routing_omits_panels(self, tmp_path):
+        populate_run(tmp_path)
+        doc = render_dashboard(RunStore(tmp_path), "r1")
+        assert "inter-layer expert affinity" not in doc
+        assert "token-hop locality" not in doc
+
+    def test_real_training_run_renders_routing_panels(self, tmp_path):
+        import numpy as np
+
+        from repro.nn.models import MoEClassifier
+        from repro.obs.runs import recording_run
+        from repro.train.data import ClusteredTokenTask
+        from repro.train.trainer import train_model
+
+        task = ClusteredTokenTask(num_clusters=8, input_dim=8,
+                                  num_classes=4, noise=0.4, seed=0)
+        # num_blocks=4 → two MoE layers (odd blocks), so the run has
+        # an inter-layer transition pair to draw.
+        model = MoEClassifier(input_dim=8, model_dim=32,
+                              hidden_dim=64, num_classes=4,
+                              num_blocks=4, num_experts=8,
+                              rng=np.random.default_rng(0), top_k=2,
+                              capacity_factor=1.25)
+        with recording_run(root=tmp_path, run_id="real",
+                           config={"kind": "train"}, seed=0):
+            train_model(model, task.sample(256), task.sample(64),
+                        steps=2, batch_size=64)
+        doc = render_dashboard(RunStore(tmp_path), "real")
+        check_well_formed(doc)
+        assert "inter-layer expert affinity" in doc
+        assert "token-hop locality" in doc

@@ -588,6 +588,50 @@ class TestPrometheusExport:
         assert render_prometheus(MetricsRegistry()) == ""
         assert parse_prometheus("") == {}
 
+    def test_hostile_instrument_names_round_trip(self):
+        """HELP text escaping per the exposition spec: backslashes
+        and newlines must survive render → parse unchanged."""
+        from repro.obs.prometheus import (
+            parse_prometheus,
+            prometheus_name,
+            render_prometheus,
+        )
+
+        hostile = ['back\\slash.metric', 'multi\nline\nname',
+                   'quote"inside', 'all\\three\n"at once']
+        reg = MetricsRegistry()
+        for name in hostile:
+            reg.counter(name).inc(1)
+        text = render_prometheus(reg)
+        # The document itself must stay line-oriented: no raw newline
+        # from a name may split a HELP line.
+        assert all(line.startswith("#") or " " in line
+                   for line in text.splitlines())
+        parsed = parse_prometheus(text)
+        helps = {m["help"] for m in parsed.values()}
+        for name in hostile:
+            assert prometheus_name(name) in parsed
+            assert name in helps
+
+    def test_parser_handles_braces_and_escapes_in_label_values(self):
+        from repro.obs.prometheus import parse_prometheus
+
+        doc = ('# HELP m a metric\n'
+               '# TYPE m gauge\n'
+               'm{path="a}b{c,d"} 1.0\n'
+               'm{text="esc\\\\aped \\"quo\\"te\\nnewline"} 2.0\n')
+        parsed = parse_prometheus(doc)
+        samples = parsed["m"]["samples"]
+        assert samples['m{path="a}b{c,d"}'] == 1.0
+        hostile_key = ('m{text="esc\\aped "quo"te\nnewline"}')
+        assert samples[hostile_key] == 2.0
+
+    def test_parser_rejects_unterminated_label_value(self):
+        from repro.obs.prometheus import parse_prometheus
+
+        with pytest.raises(ValueError, match="unterminated"):
+            parse_prometheus('# TYPE m gauge\nm{path="open 1.0')
+
 
 class TestFlowEvents:
     def test_flow_chrome_export_carries_id_and_binding(self):

@@ -4,7 +4,11 @@ import pytest
 
 from repro.cluster.topology import ndv4_topology
 from repro.core.config import MoEConfig
-from repro.parallel.placement import build_placement
+from repro.parallel.placement import (
+    ExpertPlacement,
+    build_placement,
+    round_robin_placement,
+)
 from repro.parallel.router import InlineParallelismRouter
 from repro.parallel.strategy import (
     Parallelism,
@@ -193,3 +197,77 @@ class TestPlacement:
         p = build_placement(2, 2)
         with pytest.raises(ValueError):
             p.gpus_of_expert(4)
+
+
+class TestExpertIndex:
+    """The precomputed expert→GPUs inverse index on the frozen
+    placement (replaces the per-call linear scan)."""
+
+    def test_positive_count_per_node(self):
+        p = build_placement(4, 2)
+        assert p.expert_to_gpus == ((0,), (0,), (1,), (1,),
+                                    (2,), (2,), (3,), (3,))
+        for e in range(p.num_global_experts):
+            # The index agrees with a fresh linear scan.
+            scanned = [g for g, hosted in enumerate(p.gpu_to_experts)
+                       if any(e == he for he, _ in hosted)]
+            assert p.gpus_of_expert(e) == scanned
+
+    def test_negative_count_per_node(self):
+        p = build_placement(8, -2)
+        assert p.expert_to_gpus == ((0, 1), (2, 3), (4, 5), (6, 7))
+        for e in range(p.num_global_experts):
+            scanned = [g for g, hosted in enumerate(p.gpu_to_experts)
+                       if any(e == he for he, _ in hosted)]
+            assert p.gpus_of_expert(e) == scanned
+
+    def test_deep_sharding(self):
+        p = build_placement(8, -4)
+        assert p.expert_to_gpus == ((0, 1, 2, 3), (4, 5, 6, 7))
+
+    def test_index_is_rank_sorted(self):
+        # Hosting order in gpu_to_experts must not leak into the index.
+        p = ExpertPlacement(
+            num_gpus=2, num_global_experts=2, experts_per_gpu=1.0,
+            shards_per_expert=2,
+            gpu_to_experts=(((1, 0), (0, 1)), ((0, 0), (1, 1))))
+        assert p.expert_to_gpus == ((0, 1), (0, 1))
+
+    def test_out_of_range_hosted_expert_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            ExpertPlacement(
+                num_gpus=1, num_global_experts=2, experts_per_gpu=2.0,
+                shards_per_expert=1,
+                gpu_to_experts=(((0, 0), (5, 0)),))
+
+    def test_disagreeing_explicit_index_rejected(self):
+        with pytest.raises(ValueError, match="expert_to_gpus"):
+            ExpertPlacement(
+                num_gpus=2, num_global_experts=2, experts_per_gpu=1.0,
+                shards_per_expert=1,
+                gpu_to_experts=(((0, 0),), ((1, 0),)),
+                expert_to_gpus=((1,), (0,)))
+
+
+class TestRoundRobinPlacement:
+    def test_strided_layout(self):
+        p = round_robin_placement(4, 8)
+        # Expert e lives on GPU e % 4.
+        for e in range(8):
+            assert p.gpus_of_expert(e) == [e % 4]
+        assert p.gpu_to_experts[0] == ((0, 0), (4, 0))
+        assert p.experts_per_gpu == 2.0
+        assert p.shards_per_expert == 1
+
+    def test_one_expert_per_gpu(self):
+        p = round_robin_placement(4, 4)
+        assert p.gpu_to_experts == (((0, 0),), ((1, 0),),
+                                    ((2, 0),), ((3, 0),))
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            round_robin_placement(4, 6)
+
+    def test_rejects_bad_world(self):
+        with pytest.raises(ValueError):
+            round_robin_placement(0, 4)
