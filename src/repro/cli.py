@@ -464,7 +464,8 @@ def _cmd_runs(args) -> int:
 
 
 def _cmd_dashboard(run: str, out: str | None,
-                   runs_dir: str | None) -> None:
+                   runs_dir: str | None,
+                   refresh: int | None = None) -> None:
     """Render one run into a standalone HTML dashboard."""
     from repro.obs.dashboard import write_dashboard
     from repro.obs.runs import RunStore
@@ -472,8 +473,139 @@ def _cmd_dashboard(run: str, out: str | None,
     store = RunStore(runs_dir)
     run_id = store.resolve(run)
     out_path = out if out is not None else f"dashboard-{run_id}.html"
-    path = write_dashboard(store, run_id, out_path)
-    print(f"[dashboard] wrote {path} (run {run_id})")
+    path = write_dashboard(store, run_id, out_path, refresh=refresh)
+    note = f" (auto-refresh {refresh}s)" if refresh else ""
+    print(f"[dashboard] wrote {path} (run {run_id}){note}")
+
+
+def _cmd_live(run: str, runs_dir: str | None, host: str, port: int,
+              duration: float | None, refresh: int | None,
+              wait: float) -> int:
+    """Attach the live telemetry server to a run directory.
+
+    ``--wait`` polls for the run to appear first, so the command can
+    be pointed at a registry an in-flight producer is about to
+    populate (the CI smoke does exactly this).
+    """
+    import time as _time
+
+    from repro.obs.live import LiveServer
+    from repro.obs.runs import RunStore
+
+    store = RunStore(runs_dir)
+    deadline = _time.monotonic() + max(0.0, wait)
+    while True:
+        try:
+            run_id = store.resolve(run)
+            break
+        except KeyError:
+            if _time.monotonic() >= deadline:
+                raise SystemExit(
+                    f"repro live: no run matching {run!r} under "
+                    f"{store.root}")
+            _time.sleep(0.2)
+
+    server = LiveServer(store.path(run_id), host=host, port=port,
+                        refresh=refresh)
+
+    # Background jobs in non-interactive shells inherit SIGINT as
+    # ignored, so a supervisor's polite shutdown arrives as SIGTERM:
+    # treat it the same as Ctrl-C and stop the server cleanly.
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        import signal as _signal
+        _signal.signal(_signal.SIGTERM, _terminate)
+    except ValueError:
+        pass  # not the main thread (e.g. under a test harness)
+
+    server.start()
+    print(f"[live] run {run_id} at {server.url}")
+    print(f"[live] endpoints: {server.url}/metrics  "
+          f"{server.url}/events  {server.url}/healthz  {server.url}/")
+    try:
+        if duration is not None:
+            _time.sleep(duration)
+        else:
+            while True:
+                _time.sleep(1.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        print("[live] server stopped")
+    return 0
+
+
+def _cmd_overhead(fast: bool, steps: int | None) -> int:
+    """Measure observability self-overhead on an instrumented run.
+
+    Trains a small MoE classifier with *everything* on — observer,
+    trace recorder, run recording, routing recorder, alert engine —
+    under a fresh :class:`repro.obs.overhead.OverheadLedger`, prints
+    the per-subsystem attribution, and emits the gated
+    ``BENCH_obs_overhead.json``.
+    """
+    import tempfile
+    from collections import Counter
+
+    import numpy as np
+
+    from repro import obs
+    from repro.bench.report import emit
+    from repro.nn.models import MoEClassifier
+    from repro.obs.overhead import (
+        OVERHEAD_ARTIFACT,
+        measuring_overhead,
+        overhead_metrics,
+    )
+    from repro.obs.runs import RunStore, RunWriter, set_run
+    from repro.train.data import ClusteredTokenTask
+    from repro.train.trainer import train_model
+
+    n_steps = steps if steps is not None else (8 if fast else 24)
+    config = {"kind": "obs_overhead", "fast": fast, "steps": n_steps}
+
+    # Instrumentation cost is per *event*, not per FLOP, so the
+    # fraction is only meaningful against realistically sized steps —
+    # a toy step would make fixed per-step emit costs look huge.
+    task = ClusteredTokenTask(num_clusters=8, input_dim=8,
+                              num_classes=4, noise=0.4, seed=0)
+    rng = np.random.default_rng(0)
+    model = MoEClassifier(input_dim=8, model_dim=64, hidden_dim=256,
+                          num_classes=4, num_blocks=2, num_experts=8,
+                          rng=rng, top_k=2, capacity_factor=1.25)
+
+    ob = obs.enable()
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            run = RunWriter.create(root=tmp, seed=0, config=config,
+                                   substrate="functional")
+            set_run(run)
+            try:
+                with measuring_overhead() as led:
+                    train_model(model, task.sample(1024),
+                                task.sample(256), steps=n_steps,
+                                batch_size=512)
+                event_counts = Counter(
+                    e.get("kind", "?")
+                    for e in RunStore(tmp).events(run.manifest.run_id))
+                run.finalize(registry_snapshot=ob.registry.snapshot())
+                run.close()
+            finally:
+                set_run(None)
+        led.publish(ob)
+        print(led.render())
+        print()
+        emit(OVERHEAD_ARTIFACT,
+             "observability self-overhead of an instrumented "
+             "training run",
+             overhead_metrics(led, event_counts),
+             config=config, verbose=True)
+    finally:
+        obs.disable()
+    return 0
 
 
 def _cmd_chaos(seed: int, steps: int, num_gpus: int, smoke: bool,
@@ -543,7 +675,8 @@ def _cmd_scenario(name: str | None, list_only: bool, run_all: bool,
 def _cmd_serve(name: str | None, list_only: bool, run_all: bool,
                fast: bool, seed: int | None, p99_slo: float | None,
                prometheus_path: str | None,
-               trace_path: str | None) -> int:
+               trace_path: str | None,
+               live_port: int | None = None) -> int:
     """Serve named workloads and gate on their SLO reports.
 
     Exit status is nonzero when any workload misses an SLO bound, so
@@ -580,6 +713,25 @@ def _cmd_serve(name: str | None, list_only: bool, run_all: bool,
             "repro serve: give a workload name, --all, or --list")
 
     ob = obs.enable()
+    live_server = None
+    live_run = None
+    if live_port is not None:
+        # Pre-create the run so the live server has a directory to
+        # tail from the very first batch; serve_workload sees an
+        # active run and records into it instead of making its own.
+        from repro.obs.live import LiveServer
+        from repro.obs.runs import RunWriter, set_run
+
+        live_run = RunWriter.create(
+            seed=seed if seed is not None else 0,
+            config={"kind": "serve_live", "fast": fast,
+                    "workloads": [wl.name for wl in targets]},
+            substrate="serve")
+        set_run(live_run)
+        live_server = LiveServer(live_run.directory,
+                                 port=live_port).start()
+        print(f"[live] run {live_run.manifest.run_id} at "
+              f"{live_server.url} (/metrics /events /healthz /)")
     try:
         results = []
         for wl in targets:
@@ -605,6 +757,15 @@ def _cmd_serve(name: str | None, list_only: bool, run_all: bool,
             print(f"[obs] wrote {len(ob.recorder)} trace events to "
                   f"{trace_path}")
     finally:
+        if live_run is not None:
+            from repro.obs.runs import set_run
+
+            live_run.finalize(
+                registry_snapshot=ob.registry.snapshot())
+            live_run.close()
+            set_run(None)
+        if live_server is not None:
+            live_server.stop()
         obs.disable()
     return 0 if all(r.passed for r in results) else 1
 
@@ -1006,6 +1167,11 @@ def main(argv: list[str] | None = None) -> int:
     serve_cmd.add_argument("--trace", default=None,
                            help="write the Chrome trace (request flow "
                                 "events + batch stage spans) here")
+    serve_cmd.add_argument("--live", type=int, default=None,
+                           metavar="PORT", dest="live_port",
+                           help="record into a run and serve it live "
+                                "on this port while the workloads "
+                                "run (0 = ephemeral port)")
     route_cmd = sub.add_parser(
         "route",
         help="routing provenance: load/affinity profile + placement "
@@ -1079,6 +1245,49 @@ def main(argv: list[str] | None = None) -> int:
     dash_cmd.add_argument("--dir", default=None,
                           help="registry root (default: "
                                "$REPRO_RUNS_DIR or .repro_runs)")
+    dash_cmd.add_argument("--refresh", type=int, default=None,
+                          metavar="SECONDS",
+                          help="embed a meta-refresh so the page "
+                               "reloads every N seconds (pair with "
+                               "re-rendering, or use 'repro live')")
+    live_cmd = sub.add_parser(
+        "live",
+        help="serve a run directory live over HTTP: prometheus "
+             "/metrics, SSE /events, /healthz, and the dashboard")
+    live_cmd.add_argument("run", nargs="?", default="latest",
+                          help="run id, unique prefix, or 'latest' "
+                               "(default)")
+    live_cmd.add_argument("--dir", default=None,
+                          help="registry root (default: "
+                               "$REPRO_RUNS_DIR or .repro_runs)")
+    live_cmd.add_argument("--host", default="127.0.0.1",
+                          help="bind address (default 127.0.0.1)")
+    live_cmd.add_argument("--port", type=int, default=8123,
+                          help="bind port; 0 picks an ephemeral one "
+                               "(default 8123)")
+    live_cmd.add_argument("--duration", type=float, default=None,
+                          metavar="SECONDS",
+                          help="serve for this long then exit "
+                               "(default: until interrupted)")
+    live_cmd.add_argument("--refresh", type=int, default=None,
+                          metavar="SECONDS",
+                          help="default dashboard auto-refresh "
+                               "interval")
+    live_cmd.add_argument("--wait", type=float, default=0.0,
+                          metavar="SECONDS",
+                          help="poll this long for the run to appear "
+                               "before giving up (for racing an "
+                               "in-flight producer)")
+    overhead_cmd = sub.add_parser(
+        "overhead",
+        help="measure observability self-overhead on an instrumented "
+             "training run; emits gated BENCH_obs_overhead.json")
+    overhead_cmd.add_argument("--fast", action="store_true",
+                              help="short run (CI smoke)")
+    overhead_cmd.add_argument("--steps", type=int, default=None,
+                              help="override the instrumented step "
+                                   "count (default: 24, or 8 with "
+                                   "--fast)")
     profile_cmd = sub.add_parser(
         "profile",
         help="op-level FLOP/byte/memory profile of a train step or "
@@ -1139,7 +1348,8 @@ def main(argv: list[str] | None = None) -> int:
         try:
             return _cmd_serve(args.name, args.list_only, args.run_all,
                               args.fast, args.seed, args.p99_slo,
-                              args.prometheus, args.trace)
+                              args.prometheus, args.trace,
+                              live_port=args.live_port)
         except KeyError as exc:
             raise SystemExit(f"repro serve: {exc.args[0]}") from exc
     elif args.command == "route":
@@ -1156,9 +1366,18 @@ def main(argv: list[str] | None = None) -> int:
             raise SystemExit(f"repro runs: {exc.args[0]}") from exc
     elif args.command == "dashboard":
         try:
-            _cmd_dashboard(args.run, args.out, args.dir)
+            _cmd_dashboard(args.run, args.out, args.dir,
+                           refresh=args.refresh)
         except KeyError as exc:
             raise SystemExit(f"repro dashboard: {exc.args[0]}") from exc
+    elif args.command == "live":
+        try:
+            return _cmd_live(args.run, args.dir, args.host, args.port,
+                             args.duration, args.refresh, args.wait)
+        except KeyError as exc:
+            raise SystemExit(f"repro live: {exc.args[0]}") from exc
+    elif args.command == "overhead":
+        return _cmd_overhead(args.fast, args.steps)
     elif args.command == "profile":
         _cmd_profile(args.target, args.batch, args.trace, args.json)
     elif args.command == "calibrate":

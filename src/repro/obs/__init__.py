@@ -39,6 +39,8 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.obs.overhead import get_ledger as _overhead_ledger
+from repro.obs.overhead import perf_ns as _perf_ns
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import (
     CAT_BENCH,
@@ -174,18 +176,40 @@ class Observer:
     def _finish_span(self, sp: _Span) -> None:
         end = self.clock()
         dur = end - sp.start
+        led = _overhead_ledger()
+        if led is None:
+            self.registry.histogram(f"{sp.cat}.{sp.name}").observe(dur)
+            if self.recorder is not None:
+                self.recorder.span(sp.name, sp.cat, sp.start, dur,
+                                   track=sp.track, args=sp.args)
+            return
+        t0 = _perf_ns()
         self.registry.histogram(f"{sp.cat}.{sp.name}").observe(dur)
+        t1 = _perf_ns()
+        led.add("metrics", t1 - t0)
         if self.recorder is not None:
             self.recorder.span(sp.name, sp.cat, sp.start, dur,
                                track=sp.track, args=sp.args)
+            led.add("trace", _perf_ns() - t1)
 
     def record_span(self, name: str, cat: str, start: float, dur: float,
                     track: str = "main", args: dict | None = None) -> None:
         """Record a span with explicit timestamps (simulated clocks)."""
+        led = _overhead_ledger()
+        if led is None:
+            self.registry.histogram(f"{cat}.{name}").observe(dur)
+            if self.recorder is not None:
+                self.recorder.span(name, cat, start, dur, track=track,
+                                   args=args)
+            return
+        t0 = _perf_ns()
         self.registry.histogram(f"{cat}.{name}").observe(dur)
+        t1 = _perf_ns()
+        led.add("metrics", t1 - t0)
         if self.recorder is not None:
             self.recorder.span(name, cat, start, dur, track=track,
                                args=args)
+            led.add("trace", _perf_ns() - t1)
 
     def instant(self, name: str, cat: str = CAT_BENCH,
                 track: str = "main", args: dict | None = None) -> None:
@@ -207,10 +231,22 @@ class Observer:
     # -- scalar conveniences -------------------------------------------
 
     def count(self, name: str, amount: float = 1.0) -> None:
+        led = _overhead_ledger()
+        if led is None:
+            self.registry.counter(name).inc(amount)
+            return
+        t0 = _perf_ns()
         self.registry.counter(name).inc(amount)
+        led.add("metrics", _perf_ns() - t0)
 
     def gauge(self, name: str, value: float) -> None:
+        led = _overhead_ledger()
+        if led is None:
+            self.registry.gauge(name).set(value)
+            return
+        t0 = _perf_ns()
         self.registry.gauge(name).set(value)
+        led.add("metrics", _perf_ns() - t0)
 
     # -- per-step routing history (the Figure 1 series) ----------------
 

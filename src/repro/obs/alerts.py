@@ -1,0 +1,369 @@
+"""Declarative alert rules over live run telemetry (``repro.obs.alerts``).
+
+Prometheus-style alerting for the run registry: an
+:class:`AlertEngine` holds an ordered list of :class:`AlertRule`
+(threshold / rate / absence expressions over named metric samples,
+``for``-duration holds, severity, hysteresis on resolve) and is
+evaluated on a **deterministic tick** — the training step or serving
+batch id — never the wall clock, so the same run and rules always
+produce the identical alert event sequence.
+
+Each fire/resolve transition lands in two places:
+
+* the run registry, as a ``kind="alert"`` event whose payload matches
+  the health-monitor alert schema the dashboard table already reads
+  (``kind`` / ``severity`` / ``value`` / ``threshold`` / ``message``,
+  plus ``alertname`` and ``state``);
+* the metrics registry, as the ``ALERTS{alertname=...,severity=...}``
+  labeled gauge family (1 while firing, 0 after resolve) rendered by
+  :mod:`repro.obs.prometheus` — the convention Prometheus itself uses
+  to expose alert state.
+
+The engine also tracks outstanding faults by observing the run's
+event stream (``kind="fault"`` raises the count, ``kind="recovery"``
+lowers it) through the :func:`repro.obs.runs.add_stream_hook`
+mechanism, which feeds the resilience rule (``recovery_overdue``) no
+single subsystem could evaluate alone: the trainer, the serving
+engine, and the chaos scenario engine all emit faults on their own
+code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.obs.overhead import get_ledger, perf_ns
+from repro.obs.prometheus import labeled_name
+
+__all__ = [
+    "ALERTS_FAMILY",
+    "AlertRule",
+    "AlertTransition",
+    "AlertEngine",
+    "default_rules",
+    "routing_samples",
+    "merge_worst",
+]
+
+#: Labeled gauge family name mirroring firing state (Prometheus
+#: convention: ``ALERTS{alertname="...",severity="..."} 1``).
+ALERTS_FAMILY = "ALERTS"
+
+_OPS = ("<", "<=", ">", ">=")
+_KINDS = ("threshold", "rate", "absent")
+
+
+def _cmp(value: float, op: str, threshold: float) -> bool:
+    if op == "<":
+        return value < threshold
+    if op == "<=":
+        return value <= threshold
+    if op == ">":
+        return value > threshold
+    return value >= threshold
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative rule.
+
+    ``kind="threshold"`` compares the sample against ``threshold``
+    with ``op``; ``kind="rate"`` compares the per-tick delta of the
+    sample; ``kind="absent"`` fires when the metric has not been
+    sampled for ``for_ticks`` consecutive ticks.  ``for_ticks`` is the
+    ``for:`` hold — the condition must stay bad that many consecutive
+    ticks before the rule fires.  ``resolve_threshold`` adds
+    hysteresis: a firing rule resolves only once the value crosses
+    back past it (not merely past ``threshold``), so a metric jittering
+    at the bound cannot flap the alert.
+    """
+
+    name: str
+    metric: str
+    op: str = ">"
+    threshold: float = 0.0
+    for_ticks: int = 0
+    severity: str = "warn"
+    kind: str = "threshold"
+    resolve_threshold: float | None = None
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("alert rule name must be non-empty")
+        if self.op not in _OPS:
+            raise ValueError(
+                f"rule {self.name!r}: op must be one of {_OPS}, "
+                f"got {self.op!r}")
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"rule {self.name!r}: kind must be one of {_KINDS}, "
+                f"got {self.kind!r}")
+        if self.for_ticks < 0:
+            raise ValueError(
+                f"rule {self.name!r}: for_ticks must be >= 0, "
+                f"got {self.for_ticks}")
+
+    @property
+    def gauge_name(self) -> str:
+        return labeled_name(ALERTS_FAMILY, {"alertname": self.name,
+                                            "severity": self.severity})
+
+    def _cleared(self, value: float) -> bool:
+        """Should a firing rule resolve at ``value``?
+
+        Without ``resolve_threshold`` the rule resolves as soon as its
+        condition stops holding; with one, the value must cross
+        strictly past the resolve bound (hysteresis).
+        """
+        if self.resolve_threshold is None:
+            return not _cmp(value, self.op, self.threshold)
+        if self.op in ("<", "<="):
+            return value > self.resolve_threshold
+        return value < self.resolve_threshold
+
+
+@dataclass(frozen=True)
+class AlertTransition:
+    """One fire or resolve decision of one rule at one tick."""
+
+    tick: int
+    rule: AlertRule
+    state: str                 # "firing" | "resolved"
+    value: float | None
+
+    def to_event_data(self) -> dict:
+        return {
+            "kind": self.rule.name,
+            "alertname": self.rule.name,
+            "severity": self.rule.severity,
+            "state": self.state,
+            "value": self.value,
+            "threshold": self.rule.threshold,
+            "message": (self.rule.message
+                        or f"{self.rule.metric} {self.rule.op} "
+                           f"{self.rule.threshold:g}")
+                       + f" [{self.state}]",
+        }
+
+
+@dataclass
+class _RuleState:
+    pending_since: int | None = None
+    firing: bool = False
+    last_value: float | None = None
+    last_seen: int | None = None
+
+
+class AlertEngine:
+    """Evaluates an ordered rule list on deterministic ticks.
+
+    ``evaluate(tick, samples)`` walks the rules in declaration order
+    (determinism: no dict-order dependence on the caller's side
+    matters because each rule reads exactly one named sample) and
+    returns the transitions; pass ``run=`` and/or ``registry=`` to
+    also emit alert events and mirror the ``ALERTS`` gauge family.
+    ``stream_hook`` is the fault tracker — register it with
+    :func:`repro.obs.runs.add_stream_hook` so ``fault`` / ``recovery``
+    events from *any* emitter update ``outstanding_faults``, surfaced
+    to rules as the ``faults.outstanding`` sample.
+    """
+
+    def __init__(self, rules: Sequence[AlertRule]) -> None:
+        names = [r.name for r in rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate alert rule names in {names}")
+        self.rules = list(rules)
+        self._states = [_RuleState() for _ in self.rules]
+        self.outstanding_faults = 0
+        self.transitions: list[AlertTransition] = []
+
+    # -- fault tracking (runs.add_stream_hook target) ------------------
+
+    def stream_hook(self, event: Mapping) -> None:
+        kind = event.get("kind")
+        if kind == "fault":
+            self.outstanding_faults += 1
+        elif kind == "recovery":
+            self.outstanding_faults = max(
+                0, self.outstanding_faults - 1)
+
+    # -- evaluation ----------------------------------------------------
+
+    def firing(self) -> list[str]:
+        """Names of the rules currently firing, in rule order."""
+        return [r.name for r, s in zip(self.rules, self._states)
+                if s.firing]
+
+    def evaluate(self, tick: int, samples: Mapping[str, float],
+                 run=None, registry=None) -> list[AlertTransition]:
+        """One deterministic evaluation pass; returns transitions."""
+        led = get_ledger()
+        t0 = perf_ns() if led is not None else 0
+        samples = dict(samples)
+        samples.setdefault("faults.outstanding",
+                           float(self.outstanding_faults))
+        out: list[AlertTransition] = []
+        for rule, state in zip(self.rules, self._states):
+            value = samples.get(rule.metric)
+            if rule.kind == "absent":
+                if value is not None:
+                    state.last_seen = tick
+                if state.last_seen is None \
+                        and state.pending_since is None:
+                    state.pending_since = tick  # first-ever tick anchor
+                anchor = (state.last_seen
+                          if state.last_seen is not None
+                          else state.pending_since)
+                bad = (value is None
+                       and tick - anchor >= rule.for_ticks)
+                if state.firing and not bad:
+                    state.firing = False
+                    out.append(AlertTransition(tick, rule, "resolved",
+                                               value))
+                elif not state.firing and bad:
+                    state.firing = True
+                    out.append(AlertTransition(tick, rule, "firing",
+                                               None))
+                continue
+            if value is None:
+                continue                  # no sample: hold all state
+            observed = value
+            if rule.kind == "rate":
+                previous = state.last_value
+                state.last_value = value
+                if previous is None:
+                    continue
+                observed = value - previous
+            bad = _cmp(observed, rule.op, rule.threshold)
+            if state.firing:
+                if rule._cleared(observed):
+                    state.firing = False
+                    state.pending_since = None
+                    out.append(AlertTransition(tick, rule, "resolved",
+                                               observed))
+            elif bad:
+                if state.pending_since is None:
+                    state.pending_since = tick
+                if tick - state.pending_since >= rule.for_ticks:
+                    state.firing = True
+                    out.append(AlertTransition(tick, rule, "firing",
+                                               observed))
+            else:
+                state.pending_since = None
+        self.transitions.extend(out)
+        if led is not None:
+            led.add("alerts", perf_ns() - t0)
+        for tr in out:
+            if registry is not None:
+                registry.gauge(tr.rule.gauge_name).set(
+                    1.0 if tr.state == "firing" else 0.0)
+                if tr.state == "firing":
+                    registry.counter("alerts.fired").inc()
+            if run is not None:
+                run.emit("alert", step=tick, data=tr.to_event_data())
+        return out
+
+
+# ----------------------------------------------------------------------
+# The default rule pack
+# ----------------------------------------------------------------------
+
+def default_rules(p99_ms: float | None = None,
+                  min_goodput_rps: float | None = None,
+                  entropy_floor: float = 0.5,
+                  dead_expert_share: float = 0.1,
+                  drop_rate: float = 0.3,
+                  recovery_deadline_ticks: int = 5
+                  ) -> list[AlertRule]:
+    """Serving SLO + routing health + resilience rules.
+
+    The serving rules appear only when the caller supplies the
+    workload's SLO bounds (``p99_ms`` / ``min_goodput_rps``); the
+    routing and resilience rules always apply.  Thresholds follow the
+    health-monitor conventions: normalized entropy floor 0.5, a
+    "dead" expert is one drawing under 10% of its uniform share for
+    five consecutive ticks, drops past 30% are a capacity alarm.
+    """
+    rules: list[AlertRule] = []
+    if p99_ms is not None:
+        rules.append(AlertRule(
+            name="serving_p99_high", metric="serve.model_p99_ms",
+            op=">", threshold=p99_ms, for_ticks=2,
+            severity="critical", resolve_threshold=0.9 * p99_ms,
+            message=f"modeled p99 latency above SLO {p99_ms:g} ms"))
+    if min_goodput_rps is not None:
+        rules.append(AlertRule(
+            name="serving_goodput_low", metric="serve.goodput_rps",
+            op="<", threshold=min_goodput_rps, for_ticks=2,
+            severity="warn",
+            resolve_threshold=1.1 * min_goodput_rps,
+            message=f"rolling goodput below SLO "
+                    f"{min_goodput_rps:g} req/s"))
+    rules.extend([
+        AlertRule(
+            name="routing_entropy_floor", metric="routing.entropy",
+            op="<", threshold=entropy_floor, for_ticks=3,
+            severity="warn",
+            resolve_threshold=min(1.0, entropy_floor + 0.05),
+            message=f"routing entropy below {entropy_floor:g} — "
+                    "gate collapsing"),
+        AlertRule(
+            name="dead_expert", metric="routing.min_expert_share",
+            op="<", threshold=dead_expert_share, for_ticks=5,
+            severity="critical",
+            resolve_threshold=min(1.0, 1.5 * dead_expert_share),
+            message="an expert draws under "
+                    f"{dead_expert_share:.0%} of its uniform share"),
+        AlertRule(
+            name="drop_rate_high", metric="routing.dropped_fraction",
+            op=">", threshold=drop_rate, for_ticks=2,
+            severity="warn", resolve_threshold=0.8 * drop_rate,
+            message=f"token drop rate above {drop_rate:.0%} — "
+                    "capacity factor too low"),
+        AlertRule(
+            name="recovery_overdue", metric="faults.outstanding",
+            op=">", threshold=0.0,
+            for_ticks=recovery_deadline_ticks, severity="critical",
+            message="a fault has gone unrecovered past the "
+                    f"{recovery_deadline_ticks}-tick deadline"),
+    ])
+    return rules
+
+
+def routing_samples(entropy: float | None,
+                    dropped_fraction: float | None,
+                    expert_load: Sequence[float] | None
+                    ) -> dict[str, float]:
+    """Routing-health samples from one layer's statistics.
+
+    ``routing.min_expert_share`` normalizes the least-loaded expert's
+    token count by the uniform share, so 1.0 means perfectly balanced
+    and 0.0 a fully dead expert, independent of expert count.
+    """
+    samples: dict[str, float] = {}
+    if entropy is not None:
+        samples["routing.entropy"] = float(entropy)
+    if dropped_fraction is not None:
+        samples["routing.dropped_fraction"] = float(dropped_fraction)
+    if expert_load:
+        total = float(sum(expert_load))
+        if total > 0:
+            samples["routing.min_expert_share"] = (
+                min(float(v) for v in expert_load)
+                * len(expert_load) / total)
+    return samples
+
+
+def merge_worst(into: dict[str, float],
+                samples: Mapping[str, float]) -> None:
+    """Fold one layer's samples into a per-tick dict, keeping the
+    worst value across layers (min entropy / min share, max drop)."""
+    for key, value in samples.items():
+        if key not in into:
+            into[key] = value
+        elif key == "routing.dropped_fraction":
+            into[key] = max(into[key], value)
+        else:
+            into[key] = min(into[key], value)

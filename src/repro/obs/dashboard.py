@@ -286,10 +286,17 @@ def _line_chart(steps: Sequence[int], values: Sequence[float],
             f'<circle cx="{mx:.1f}" cy="{pad_t}" r="4" '
             f'fill="var(--status-{token})">'
             f'<title>{_esc(label)}</title></circle>')
-    path = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in pts)
-    out.append(f'<polyline points="{path}" fill="none" '
-               f'stroke="var(--series-1)" stroke-width="2" '
-               f'stroke-linejoin="round"/>')
+    if len(pts) == 1:
+        # A one-sample series must still be visible: a polyline with a
+        # single point renders nothing, so draw a dot instead.
+        x, y = pts[0]
+        out.append(f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3" '
+                   f'fill="var(--series-1)"/>')
+    else:
+        path = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in pts)
+        out.append(f'<polyline points="{path}" fill="none" '
+                   f'stroke="var(--series-1)" stroke-width="2" '
+                   f'stroke-linejoin="round"/>')
     # invisible-ring hover targets carrying native tooltips
     if len(pts) <= 400:
         for x, y in pts:
@@ -628,8 +635,15 @@ def _step_table(series: RunSeries, limit: int = 200) -> str:
             f'<tbody>{"".join(rows)}</tbody></table>{truncated}')
 
 
-def render_dashboard(store: RunStore, token: str = "latest") -> str:
-    """Render one run into a standalone HTML document string."""
+def render_dashboard(store: RunStore, token: str = "latest",
+                     refresh: int | None = None) -> str:
+    """Render one run into a standalone HTML document string.
+
+    ``refresh`` adds a ``<meta http-equiv="refresh">`` so the page
+    reloads every N seconds — the live-monitoring mode used by
+    ``repro dashboard --refresh`` and the ``/`` route of
+    :class:`repro.obs.live.LiveServer`.
+    """
     run_id = store.resolve(token)
     manifest = store.manifest(run_id)
     series = build_series(store.events(run_id))
@@ -745,6 +759,8 @@ def render_dashboard(store: RunStore, token: str = "latest") -> str:
     doc = [
         "<!DOCTYPE html>",
         '<html lang="en"><head><meta charset="utf-8">',
+        *([f'<meta http-equiv="refresh" content="{int(refresh)}">']
+          if refresh is not None and refresh > 0 else []),
         f"<title>repro run {_esc(run_id)}</title>",
         f"<style>{_CSS}</style></head>",
         '<body class="viz-root">',
@@ -777,9 +793,10 @@ def render_dashboard(store: RunStore, token: str = "latest") -> str:
 
 
 def write_dashboard(store: RunStore, token: str,
-                    out_path: str | Path) -> Path:
+                    out_path: str | Path,
+                    refresh: int | None = None) -> Path:
     """Render and write the dashboard; returns the output path."""
     out = Path(out_path)
     out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(render_dashboard(store, token))
+    out.write_text(render_dashboard(store, token, refresh=refresh))
     return out

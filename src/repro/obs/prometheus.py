@@ -8,7 +8,12 @@ picks up):
 * counters  → ``# TYPE <name> counter`` samples;
 * gauges    → ``# TYPE <name> gauge`` samples;
 * histograms → ``# TYPE <name> summary``: one ``{quantile="..."}``
-  sample per reservoir quantile plus the ``_sum``/``_count`` pair.
+  sample per reservoir quantile plus the ``_sum``/``_count`` pair;
+* labeled families → instrument names built with
+  :func:`labeled_name` (``ALERTS{alertname="...",severity="..."}``)
+  render as one shared ``HELP``/``TYPE`` head with per-label-set
+  sample lines, the convention the alert engine uses to expose
+  firing state.
 
 Instrument names are sanitized to the Prometheus grammar
 (``[a-zA-Z_:][a-zA-Z0-9_:]*``) — dots and other separators become
@@ -27,8 +32,8 @@ import re
 
 from repro.obs.registry import MetricsRegistry
 
-__all__ = ["QUANTILES", "prometheus_name", "render_prometheus",
-           "parse_prometheus"]
+__all__ = ["QUANTILES", "prometheus_name", "labeled_name",
+           "render_prometheus", "parse_prometheus"]
 
 #: Reservoir quantiles exported per histogram.
 QUANTILES = (0.5, 0.95, 0.99)
@@ -45,6 +50,46 @@ def prometheus_name(name: str) -> str:
         out = "_" + out
     assert _NAME_OK.match(out)
     return out
+
+
+def labeled_name(family: str, labels: "dict[str, str]") -> str:
+    """A registry instrument name carrying a Prometheus label set.
+
+    The flat :class:`MetricsRegistry` has no native label support, so
+    labeled families (``ALERTS{alertname=...,severity=...}``) are
+    encoded in the instrument *name*: ``family{key="escaped value"}``
+    with keys sorted for determinism.  :func:`render_prometheus`
+    detects the encoding (validated with the same scanner the parser
+    uses) and renders one shared ``HELP``/``TYPE`` head per family
+    with per-label-set samples.
+    """
+    if not labels:
+        return family
+    body = ",".join(
+        f'{key}="{_escape_label_value(str(labels[key]))}"'
+        for key in sorted(labels))
+    return f"{family}{{{body}}}"
+
+
+def _split_labeled(name: str) -> "tuple[str, list[tuple[str, str]]] | None":
+    """Decode a :func:`labeled_name` encoding, or None.
+
+    Returns ``(family, [(key, unescaped value), ...])`` only when the
+    whole suffix is one well-formed label block (validated via
+    :func:`_scan_labels`); hostile instrument names with stray braces
+    fall back to full-name sanitization instead of producing invalid
+    exposition lines.
+    """
+    brace = name.find("{")
+    if brace <= 0 or not name.endswith("}"):
+        return None
+    try:
+        pairs, consumed = _scan_labels(name[brace:], 0)
+    except ValueError:
+        return None
+    if consumed != len(name) - brace or not pairs:
+        return None
+    return name[:brace], pairs
 
 
 def _fmt(value: float) -> str:
@@ -94,18 +139,32 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     """The registry as one text-exposition document."""
     lines: list[str] = []
 
+    headed: set[str] = set()
+
     def head(pname: str, original: str, kind: str) -> None:
         lines.append(f"# HELP {pname} {_escape_help(original)}")
         lines.append(f"# TYPE {pname} {kind}")
+        headed.add(pname)
+
+    def scalar(name: str, value: float, kind: str) -> None:
+        split = _split_labeled(name)
+        if split is None:
+            pname = prometheus_name(name)
+            head(pname, name, kind)
+            lines.append(f"{pname} {_fmt(value)}")
+            return
+        family, pairs = split
+        pfam = prometheus_name(family)
+        if pfam not in headed:
+            head(pfam, family, kind)
+        body = ",".join(f'{k}="{_escape_label_value(v)}"'
+                        for k, v in pairs)
+        lines.append(f"{pfam}{{{body}}} {_fmt(value)}")
 
     for name, c in sorted(registry.counters.items()):
-        pname = prometheus_name(name)
-        head(pname, name, "counter")
-        lines.append(f"{pname} {_fmt(c.value)}")
+        scalar(name, c.value, "counter")
     for name, g in sorted(registry.gauges.items()):
-        pname = prometheus_name(name)
-        head(pname, name, "gauge")
-        lines.append(f"{pname} {_fmt(g.value)}")
+        scalar(name, g.value, "gauge")
     for name, h in sorted(registry.histograms.items()):
         pname = prometheus_name(name)
         head(pname, name, "summary")

@@ -124,6 +124,14 @@ class RoutingRecorder:
     def observe_batch(self,
                       crits: Sequence[RoutingCriteria]) -> None:
         """Fold one batch's per-layer routing decisions in."""
+        from repro.obs.overhead import get_ledger, perf_ns
+        led = get_ledger()
+        t0 = perf_ns() if led is not None else 0
+        self._fold(crits)
+        if led is not None:
+            led.add("routing", perf_ns() - t0)
+
+    def _fold(self, crits: Sequence[RoutingCriteria]) -> None:
         if len(crits) != self.num_layers:
             raise ValueError(
                 f"expected {self.num_layers} layer criteria, "
@@ -627,12 +635,17 @@ def synthetic_profile(seed: int = 0, *, num_layers: int = 3,
 
 def record_gauges(ob, profile: RoutingProfile,
                   scores: Sequence[PlacementScore]) -> None:
-    """Publish the profile + ledger headline numbers as obs gauges
-    (scrapeable through :mod:`repro.obs.prometheus`)."""
-    ob.gauge("routing.tokens", float(profile.tokens))
-    ob.gauge("routing.batches", float(profile.batches))
-    ob.gauge("routing.dispatched", float(profile.total_dispatched))
-    ob.gauge("routing.dropped_slots", float(profile.dropped_slots))
+    """Publish the profile + ledger headline numbers as obs
+    instruments (scrapeable through :mod:`repro.obs.prometheus`).
+
+    The monotonic totals (tokens, batches, dispatched, dropped slots)
+    are **counters**, not gauges, so the Prometheus exposition carries
+    the correct ``# TYPE``; the derived statistics stay gauges.
+    """
+    ob.count("routing.tokens", float(profile.tokens))
+    ob.count("routing.batches", float(profile.batches))
+    ob.count("routing.dispatched", float(profile.total_dispatched))
+    ob.count("routing.dropped_slots", float(profile.dropped_slots))
     ob.gauge("routing.load_gini", profile.load_gini())
     ob.gauge("routing.self_affinity",
              profile.self_affinity_fraction())

@@ -42,6 +42,7 @@ from pathlib import Path
 from typing import Any, IO, Iterator, Mapping
 
 from repro.bench.report import config_fingerprint
+from repro.obs.overhead import get_ledger, perf_ns
 
 __all__ = [
     "RUN_SCHEMA_VERSION",
@@ -55,6 +56,9 @@ __all__ = [
     "get_run",
     "set_run",
     "recording_run",
+    "parse_events_text",
+    "add_stream_hook",
+    "remove_stream_hook",
 ]
 
 RUN_SCHEMA_VERSION = 1
@@ -65,6 +69,53 @@ DEFAULT_RUNS_DIR = ".repro_runs"
 _MANIFEST = "manifest.json"
 _EVENTS = "events.jsonl"
 _METRICS = "metrics.json"
+
+
+def parse_events_text(text: str) -> list[dict]:
+    """Parse an ``events.jsonl`` payload, tolerating a torn tail.
+
+    A crashed or still-writing concurrent writer can leave the *final*
+    line mid-record; readers (the store, the resume path, the live
+    tailer, the dashboard) skip that trailing partial line instead of
+    raising.  Corruption anywhere *before* the tail is still an error
+    — that cannot be produced by an interrupted append-and-flush
+    writer, so it indicates real damage worth surfacing.
+    """
+    lines = text.splitlines()
+    last = len(lines) - 1
+    while last >= 0 and not lines[last].strip():
+        last -= 1
+    events: list[dict] = []
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == last:
+                break          # torn final line from a live writer
+            raise
+    return events
+
+
+# Observers of the live event stream (the alert engine's fault
+# tracker).  Module-level so any emitter — trainer, serving engine,
+# scenario engine, resilience paths — feeds the same hooks; emit()
+# pays one truthiness check when no hook is registered.
+_stream_hooks: list = []
+
+
+def add_stream_hook(hook) -> None:
+    """Register ``hook(event_dict)`` to run on every emitted event."""
+    _stream_hooks.append(hook)
+
+
+def remove_stream_hook(hook) -> None:
+    """Unregister a hook previously added (no-op when absent)."""
+    try:
+        _stream_hooks.remove(hook)
+    except ValueError:
+        pass
 
 
 def env_runs_root() -> Path | None:
@@ -221,18 +272,19 @@ class RunWriter:
         manifest.status = "running"
         _write_manifest(directory, manifest)
         events_path = directory / _EVENTS
+        raw = events_path.read_text() if events_path.exists() else ""
         kept: list[dict] = []
-        if events_path.exists():
-            for line in events_path.read_text().splitlines():
-                if not line.strip():
-                    continue
-                event = json.loads(line)
-                step = event.get("step")
-                if from_step is not None and step is not None and (
-                        step >= from_step or step < 0):
-                    continue
-                kept.append(event)
-        if from_step is not None:
+        for event in parse_events_text(raw):
+            step = event.get("step")
+            if from_step is not None and step is not None and (
+                    step >= from_step or step < 0):
+                continue
+            kept.append(event)
+        # A torn final line (writer killed mid-write) must be
+        # truncated before appending, or the next event would be
+        # welded onto the fragment and lost with it.
+        torn = bool(raw) and not raw.endswith("\n")
+        if from_step is not None or torn:
             events_path.write_text(
                 "".join(json.dumps(e) + "\n" for e in kept))
         next_seq = 1 + max((e.get("seq", -1) for e in kept), default=-1)
@@ -259,6 +311,8 @@ class RunWriter:
     def emit(self, kind: str, step: int | None = None,
              data: Mapping | None = None) -> None:
         """Append one event line (flushed, so crashes lose nothing)."""
+        led = get_ledger()
+        t0 = perf_ns() if led is not None else 0
         if self._fh is None:
             self._fh = open(self.directory / _EVENTS, "a")
         event = {"schema": RUN_SCHEMA_VERSION, "seq": self._seq,
@@ -268,6 +322,11 @@ class RunWriter:
         self._seq += 1
         self._fh.write(json.dumps(event) + "\n")
         self._fh.flush()
+        if led is not None:
+            led.add("events", perf_ns() - t0)
+        if _stream_hooks:
+            for hook in list(_stream_hooks):
+                hook(event)
 
     def update_summary(self, summary: Mapping) -> None:
         """Merge keys into the manifest summary without completing the
@@ -388,9 +447,7 @@ class RunStore:
         path = self.path(run_id) / _EVENTS
         if not path.is_file():
             return []
-        return [json.loads(line)
-                for line in path.read_text().splitlines()
-                if line.strip()]
+        return parse_events_text(path.read_text())
 
     def iter_events(self, run_id: str,
                     kind: str | None = None) -> Iterator[dict]:

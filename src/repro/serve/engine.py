@@ -37,9 +37,23 @@ from repro.nn.moe import MoE
 from repro.obs import CAT_SERVE, Observer, get_observer
 from repro.obs import enable as obs_enable
 from repro.obs import disable as obs_disable
+from repro.obs.alerts import (
+    AlertEngine,
+    default_rules,
+    merge_worst,
+    routing_samples,
+)
+from repro.obs.overhead import get_ledger
 from repro.obs.registry import Histogram
 from repro.obs.routing import RoutingRecorder
-from repro.obs.runs import RunWriter, env_runs_root, get_run, set_run
+from repro.obs.runs import (
+    RunWriter,
+    add_stream_hook,
+    env_runs_root,
+    get_run,
+    remove_stream_hook,
+    set_run,
+)
 from repro.scenarios.engine import SLOCheck
 from repro.serve.arrivals import NS, generate_arrivals
 from repro.serve.batcher import BatchFormer
@@ -237,18 +251,29 @@ def serve_workload(workload: ServeWorkload, *, fast: bool = False,
             substrate="serve")
         set_run(auto_run)
     run = get_run()
+    alerts = None
     if run is not None:
         result.run_id = run.manifest.run_id
         run.emit("serve", step=0, data={
             "kind": "begin", "workload": wl.name, "seed": wl.seed,
             "fast": fast, "requests": len(requests),
             "horizon_s": wl.arrival.horizon_s})
+        # Per-batch declarative alerting against this workload's SLO
+        # bounds; fault/recovery events (the brownout window) feed the
+        # engine's outstanding-fault count via the run stream hook.
+        alerts = AlertEngine(default_rules(
+            p99_ms=(p99_slo_ms if p99_slo_ms is not None
+                    else wl.slo.p99_ms),
+            min_goodput_rps=wl.slo.min_goodput_rps))
+        add_stream_hook(alerts.stream_hook)
 
     t_wall0 = time.perf_counter()
     try:
         _serve_loop(wl, requests, result, ob, run, t_wall0=t_wall0,
-                    p99_slo_ms=p99_slo_ms)
+                    p99_slo_ms=p99_slo_ms, alerts=alerts)
     finally:
+        if alerts is not None:
+            remove_stream_hook(alerts.stream_hook)
         run = get_run()
         if run is not None:
             for check in result.checks:
@@ -284,7 +309,7 @@ def _summary(result: ServeResult) -> dict:
 
 def _serve_loop(wl: ServeWorkload, requests, result: ServeResult,
                 ob: Observer, run, *, t_wall0: float,
-                p99_slo_ms: float | None) -> None:
+                p99_slo_ms: float | None, alerts=None) -> None:
     rng = np.random.default_rng(wl.seed)
     layers = [MoE(wl.model_dim, wl.hidden_dim, wl.num_experts, rng,
                   top_k=wl.top_k, capacity_factor=wl.capacity_factor)
@@ -299,11 +324,15 @@ def _serve_loop(wl: ServeWorkload, requests, result: ServeResult,
     hist_model = Histogram(f"serve.{wl.name}.model_ms")
     hist_measured = Histogram(f"serve.{wl.name}.measured_ms")
 
+    deadline_ns = round(wl.slo.deadline_ms * 1e6)
+    on_time = 0
+
     free_ns = 0
     start = 0
     batch_id = 0
     brownout_was_active = False
     while start < len(requests):
+        t_batch0 = time.perf_counter()
         batch = former.next_batch(requests, start, free_ns, batch_id)
         end = start + len(batch.requests)
         queue_depth = sum(1 for r in requests[end:]
@@ -354,9 +383,19 @@ def _serve_loop(wl: ServeWorkload, requests, result: ServeResult,
             hist_model.observe(r.model_e2e_ns / 1e6)
             hist_measured.observe(r.e2e_ns / 1e6)
 
+        # Rolling goodput on the virtual clock: requests done within
+        # the deadline so far over simulated seconds elapsed so far.
+        on_time += sum(1 for r in ledger.requests
+                       if r.model_e2e_ns <= deadline_ns)
+        rolling_goodput = (on_time / (ledger.done_ns / NS)
+                           if ledger.done_ns > 0 else 0.0)
+        rolling_p99 = hist_model.quantile(0.99)
+
         ob.count("serve.requests", len(ledger.requests))
         ob.count("serve.batches")
         ob.gauge("serve.queue_depth", queue_depth)
+        ob.gauge("serve.model_p99_ms", rolling_p99)
+        ob.gauge("serve.goodput_rps", rolling_goodput)
         _emit_trace(ob, ledger)
         if run is not None:
             run.emit("serve_batch", step=batch_id, data={
@@ -368,7 +407,8 @@ def _serve_loop(wl: ServeWorkload, requests, result: ServeResult,
                 "model_walls_ns": dict(ledger.model_walls),
                 "p50_ms": hist_model.quantile(0.50),
                 "p95_ms": hist_model.quantile(0.95),
-                "p99_ms": hist_model.quantile(0.99),
+                "p99_ms": rolling_p99,
+                "goodput_rps": rolling_goodput,
                 "brownout": active,
             })
             for r in ledger.requests:
@@ -380,6 +420,23 @@ def _serve_loop(wl: ServeWorkload, requests, result: ServeResult,
                     "e2e_measured_ms": r.e2e_ns / 1e6,
                     "model_spans_ns": dict(r.model_spans),
                     "model_shares_ns": dict(r.model_shares)})
+
+        if alerts is not None:
+            samples = {"serve.model_p99_ms": rolling_p99,
+                       "serve.goodput_rps": rolling_goodput,
+                       "serve.queue_depth": float(queue_depth)}
+            for layer in layers:
+                stats = layer.last_routing_stats
+                if stats is not None:
+                    merge_worst(samples, routing_samples(
+                        stats.routing_entropy, stats.dropped_fraction,
+                        stats.expert_load))
+            alerts.evaluate(batch_id, samples, run=run,
+                            registry=ob.registry)
+        led = get_ledger()
+        if led is not None:
+            led.observe_step(
+                round((time.perf_counter() - t_batch0) * NS))
 
         free_ns = ledger.done_ns
         start = end

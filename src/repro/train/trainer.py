@@ -46,7 +46,21 @@ from repro.nn.models import MoEClassifier
 from repro.nn.modules import Module
 from repro.obs import CAT_FAULT, CAT_CKPT, CAT_TRAIN, get_observer
 from repro.obs import span as _span
-from repro.obs.runs import RunWriter, env_runs_root, get_run, set_run
+from repro.obs.alerts import (
+    AlertEngine,
+    default_rules,
+    merge_worst,
+    routing_samples,
+)
+from repro.obs.overhead import get_ledger
+from repro.obs.runs import (
+    RunWriter,
+    add_stream_hook,
+    env_runs_root,
+    get_run,
+    remove_stream_hook,
+    set_run,
+)
 from repro.train.data import TokenBatch
 from repro.train.schedules import apply_sparsity_schedules
 
@@ -157,6 +171,15 @@ def train_model(model: Module, train: TokenBatch, test: TokenBatch,
         set_run(auto_run)
     workers_ctx = (nullcontext() if expert_workers is None
                    else expert_parallelism(expert_workers))
+    # Declarative alert rules are evaluated once per completed step
+    # whenever a run records this training: fired transitions land in
+    # the event stream (the live plane tails them) and in the
+    # ALERTS{...} gauge family.  The stream hook keeps the engine's
+    # outstanding-fault count in sync with fault/recovery events
+    # emitted by whoever owns the run (e.g. the chaos scenarios).
+    alerts = AlertEngine(default_rules()) if get_run() is not None else None
+    if alerts is not None:
+        add_stream_hook(alerts.stream_hook)
     try:
         with workers_ctx:
             result = _train_loop(
@@ -168,7 +191,7 @@ def train_model(model: Module, train: TokenBatch, test: TokenBatch,
                 checkpoint_every=checkpoint_every,
                 checkpoint_dir=checkpoint_dir, resume_from=resume_from,
                 nonfinite_guard=nonfinite_guard, step_hook=step_hook,
-                health=health)
+                health=health, alerts=alerts)
         summary = {
             "steps": steps,
             "final_train_loss": result.final_train_loss,
@@ -191,6 +214,8 @@ def train_model(model: Module, train: TokenBatch, test: TokenBatch,
                 run.update_summary(summary)
         return result
     finally:
+        if alerts is not None:
+            remove_stream_hook(alerts.stream_hook)
         if auto_run is not None:
             auto_run.close()
             set_run(None)
@@ -206,7 +231,7 @@ def _train_loop(model: Module, train: TokenBatch, test: TokenBatch, *,
                 checkpoint_dir: str | None, resume_from: str | None,
                 nonfinite_guard: bool,
                 step_hook: Callable[[int, Module], None] | None,
-                health) -> TrainResult:
+                health, alerts=None) -> TrainResult:
     if steps < 1:
         raise ValueError(f"steps must be >= 1, got {steps}")
     if checkpoint_every is not None:
@@ -323,6 +348,10 @@ def _train_loop(model: Module, train: TokenBatch, test: TokenBatch, *,
                 if run is not None:
                     run.emit("step_skipped", data={"step": step})
                 result.step_walls[step] = perf_counter() - wall_start
+                led = get_ledger()
+                if led is not None:
+                    led.observe_step(
+                        round(result.step_walls[step] * 1e9))
                 continue
             with _span("optimizer", CAT_TRAIN):
                 gnorm = clip_grad_norm(params, grad_clip)
@@ -374,6 +403,22 @@ def _train_loop(model: Module, train: TokenBatch, test: TokenBatch, *,
                         len(moe_layers), crits[0].num_experts)
                 routing_rec.observe_batch(crits)
                 routing_rec.emit(run, step=step)
+        if alerts is not None:
+            samples = {"train.loss": loss_val,
+                       "train.grad_norm": float(gnorm)}
+            for layer in moe_layers:
+                stats = layer.last_routing_stats
+                if stats is not None:
+                    merge_worst(samples, routing_samples(
+                        stats.routing_entropy, stats.dropped_fraction,
+                        stats.expert_load))
+            alerts.evaluate(step, samples, run=run,
+                            registry=(ob.registry if ob is not None
+                                      else None))
+        led = get_ledger()
+        if led is not None:
+            led.observe_step(
+                round(result.step_walls[step] * 1e9))
 
         completed = step + 1
         if (checkpoint_every is not None

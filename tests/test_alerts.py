@@ -1,0 +1,306 @@
+"""Tests for the declarative alert engine (repro.obs.alerts) and the
+observability self-overhead ledger (repro.obs.overhead)."""
+
+import pytest
+
+from repro.obs.alerts import (
+    ALERTS_FAMILY,
+    AlertEngine,
+    AlertRule,
+    default_rules,
+    merge_worst,
+    routing_samples,
+)
+from repro.obs.overhead import (
+    OverheadLedger,
+    get_ledger,
+    measuring_overhead,
+    overhead_metrics,
+    set_ledger,
+)
+from repro.obs.prometheus import (
+    labeled_name,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.runs import RunStore, RunWriter, set_run
+
+
+@pytest.fixture(autouse=True)
+def _clean_globals():
+    yield
+    set_run(None)
+    set_ledger(None)
+
+
+def run_series(engine, metric, values, registry=None, run=None):
+    """Feed one value per tick; return (tick, name, state) tuples."""
+    out = []
+    for tick, value in enumerate(values):
+        for tr in engine.evaluate(tick, {metric: value},
+                                  registry=registry, run=run):
+            out.append((tick, tr.rule.name, tr.state))
+    return out
+
+
+class TestRuleValidation:
+    def test_rejects_bad_op_kind_and_hold(self):
+        with pytest.raises(ValueError):
+            AlertRule(name="x", metric="m", op="!=")
+        with pytest.raises(ValueError):
+            AlertRule(name="x", metric="m", kind="delta")
+        with pytest.raises(ValueError):
+            AlertRule(name="x", metric="m", for_ticks=-1)
+        with pytest.raises(ValueError):
+            AlertRule(name="", metric="m")
+
+    def test_rejects_duplicate_rule_names(self):
+        rule = AlertRule(name="dup", metric="m")
+        with pytest.raises(ValueError):
+            AlertEngine([rule, AlertRule(name="dup", metric="n")])
+
+
+class TestFireHoldResolve:
+    def test_fires_only_after_hold(self):
+        engine = AlertEngine([AlertRule(
+            name="hot", metric="m", op=">", threshold=1.0,
+            for_ticks=2)])
+        got = run_series(engine, "m", [2.0, 2.0, 2.0, 0.5])
+        assert got == [(2, "hot", "firing"), (3, "hot", "resolved")]
+
+    def test_blip_shorter_than_hold_never_fires(self):
+        engine = AlertEngine([AlertRule(
+            name="hot", metric="m", op=">", threshold=1.0,
+            for_ticks=2)])
+        got = run_series(engine, "m", [2.0, 0.5, 2.0, 0.5, 2.0, 0.5])
+        assert got == []
+
+    def test_zero_hold_fires_immediately(self):
+        engine = AlertEngine([AlertRule(
+            name="hot", metric="m", op=">", threshold=1.0)])
+        got = run_series(engine, "m", [2.0])
+        assert got == [(0, "hot", "firing")]
+
+    def test_hysteresis_holds_between_bounds(self):
+        # Fires above 10; with resolve_threshold 8 it must NOT
+        # resolve at 9 (inside the hysteresis band), only below 8.
+        engine = AlertEngine([AlertRule(
+            name="hot", metric="m", op=">", threshold=10.0,
+            resolve_threshold=8.0)])
+        got = run_series(engine, "m", [11.0, 9.0, 9.5, 7.0])
+        assert got == [(0, "hot", "firing"), (3, "hot", "resolved")]
+
+    def test_without_hysteresis_resolves_at_threshold(self):
+        # A rule on "faults.outstanding > 0" must resolve once the
+        # count is back to exactly 0 (no strict crossing possible).
+        engine = AlertEngine([AlertRule(
+            name="faulty", metric="m", op=">", threshold=0.0)])
+        got = run_series(engine, "m", [1.0, 1.0, 0.0])
+        assert got == [(0, "faulty", "firing"),
+                       (2, "faulty", "resolved")]
+
+    def test_missing_sample_holds_state(self):
+        engine = AlertEngine([AlertRule(
+            name="hot", metric="m", op=">", threshold=1.0)])
+        engine.evaluate(0, {"m": 2.0})
+        engine.evaluate(1, {})          # sample absent: still firing
+        assert engine.firing() == ["hot"]
+
+
+class TestRateAndAbsent:
+    def test_rate_rule_compares_per_tick_delta(self):
+        engine = AlertEngine([AlertRule(
+            name="spike", metric="m", kind="rate", op=">",
+            threshold=5.0)])
+        # Deltas: (skip first), +1, +10, +1 → fire at tick 2,
+        # resolve at tick 3.
+        got = run_series(engine, "m", [0.0, 1.0, 11.0, 12.0])
+        assert got == [(2, "spike", "firing"),
+                       (3, "spike", "resolved")]
+
+    def test_absent_rule_fires_and_resolves(self):
+        engine = AlertEngine([AlertRule(
+            name="gone", metric="m", kind="absent", for_ticks=2)])
+        out = []
+        series = [{"m": 1.0}, {}, {}, {}, {"m": 1.0}]
+        for tick, samples in enumerate(series):
+            for tr in engine.evaluate(tick, samples):
+                out.append((tick, tr.state))
+        assert out == [(2, "firing"), (4, "resolved")]
+
+    def test_absent_rule_never_sampled_counts_from_start(self):
+        engine = AlertEngine([AlertRule(
+            name="gone", metric="m", kind="absent", for_ticks=3)])
+        out = []
+        for tick in range(4):
+            for tr in engine.evaluate(tick, {}):
+                out.append((tick, tr.state))
+        assert out == [(3, "firing")]
+
+
+class TestDeterminismAndSinks:
+    SERIES = [0.2, 0.2, 2.0, 2.0, 2.0, 0.1, 2.0, 0.1]
+
+    def _run(self):
+        engine = AlertEngine([AlertRule(
+            name="hot", metric="m", op=">", threshold=1.0,
+            for_ticks=1)])
+        return run_series(engine, "m", self.SERIES)
+
+    def test_same_inputs_same_transition_sequence(self):
+        assert self._run() == self._run()
+
+    def test_transitions_land_in_registry_and_run(self, tmp_path):
+        registry = MetricsRegistry()
+        run = RunWriter.create(root=tmp_path, run_id="r1", seed=0,
+                               config={})
+        engine = AlertEngine([AlertRule(
+            name="hot", metric="m", op=">", threshold=1.0,
+            severity="critical")])
+        run_series(engine, "m", [2.0, 0.5, 2.0], registry=registry,
+                   run=run)
+        run.finalize(summary={})
+
+        gname = labeled_name(ALERTS_FAMILY,
+                             {"alertname": "hot",
+                              "severity": "critical"})
+        assert registry.gauges[gname].value == 1.0
+        assert registry.counters["alerts.fired"].value == 2
+
+        events = [e for e in RunStore(tmp_path).events("r1")
+                  if e["kind"] == "alert"]
+        assert [(e["step"], e["data"]["state"]) for e in events] == [
+            (0, "firing"), (1, "resolved"), (2, "firing")]
+        assert events[0]["data"]["alertname"] == "hot"
+        assert events[0]["data"]["severity"] == "critical"
+        assert "[firing]" in events[0]["data"]["message"]
+
+    def test_alerts_family_round_trips_through_prometheus(self):
+        registry = MetricsRegistry()
+        engine = AlertEngine([
+            AlertRule(name="a", metric="m", op=">", threshold=1.0),
+            AlertRule(name="b", metric="m", op=">", threshold=1.5,
+                      severity="critical"),
+        ])
+        engine.evaluate(0, {"m": 2.0}, registry=registry)
+        text = render_prometheus(registry)
+        parsed = parse_prometheus(text)
+        fam = parsed["ALERTS"]
+        assert fam["type"] == "gauge"
+        assert fam["samples"][
+            'ALERTS{alertname="a",severity="warn"}'] == 1.0
+        assert fam["samples"][
+            'ALERTS{alertname="b",severity="critical"}'] == 1.0
+        # One shared HELP/TYPE head for the family, not one per set.
+        assert text.count("# TYPE ALERTS gauge") == 1
+
+
+class TestFaultTracking:
+    def test_stream_hook_counts_faults_and_recoveries(self):
+        engine = AlertEngine(default_rules(recovery_deadline_ticks=2))
+        engine.stream_hook({"kind": "fault", "data": {}})
+        engine.stream_hook({"kind": "step"})
+        assert engine.outstanding_faults == 1
+        engine.stream_hook({"kind": "recovery", "data": {}})
+        engine.stream_hook({"kind": "recovery", "data": {}})
+        assert engine.outstanding_faults == 0  # floored at zero
+
+    def test_recovery_overdue_fires_then_resolves(self):
+        engine = AlertEngine(default_rules(recovery_deadline_ticks=2))
+        engine.stream_hook({"kind": "fault"})
+        out = []
+        for tick in range(5):
+            if tick == 3:
+                engine.stream_hook({"kind": "recovery"})
+            for tr in engine.evaluate(tick, {}):
+                out.append((tick, tr.rule.name, tr.state))
+        assert out == [(2, "recovery_overdue", "firing"),
+                       (3, "recovery_overdue", "resolved")]
+
+
+class TestDefaultRules:
+    def test_serving_rules_gated_on_bounds(self):
+        base = {r.name for r in default_rules()}
+        assert "serving_p99_high" not in base
+        assert "serving_goodput_low" not in base
+        full = {r.name for r in default_rules(p99_ms=50.0,
+                                              min_goodput_rps=100.0)}
+        assert {"serving_p99_high", "serving_goodput_low",
+                "routing_entropy_floor", "dead_expert",
+                "drop_rate_high", "recovery_overdue"} <= full
+
+    def test_dead_expert_detected_from_expert_load(self):
+        engine = AlertEngine(default_rules())
+        out = []
+        for tick in range(6):
+            samples = routing_samples(0.9, 0.0, [10, 10, 10, 0])
+            for tr in engine.evaluate(tick, samples):
+                out.append((tick, tr.rule.name))
+        assert out == [(5, "dead_expert")]
+
+
+class TestRoutingSamples:
+    def test_min_expert_share_normalized(self):
+        s = routing_samples(0.8, 0.1, [10, 10, 10, 10])
+        assert s["routing.min_expert_share"] == pytest.approx(1.0)
+        s = routing_samples(None, None, [0, 20, 20, 20])
+        assert s["routing.min_expert_share"] == 0.0
+        assert "routing.entropy" not in s
+
+    def test_merge_worst_across_layers(self):
+        into = {}
+        merge_worst(into, {"routing.entropy": 0.9,
+                           "routing.dropped_fraction": 0.1,
+                           "routing.min_expert_share": 0.8})
+        merge_worst(into, {"routing.entropy": 0.4,
+                           "routing.dropped_fraction": 0.05,
+                           "routing.min_expert_share": 0.9})
+        assert into == {"routing.entropy": 0.4,
+                        "routing.dropped_fraction": 0.1,
+                        "routing.min_expert_share": 0.8}
+
+
+class TestOverheadLedger:
+    def test_accumulates_and_attributes(self):
+        led = OverheadLedger()
+        led.add("metrics", 100)
+        led.add("metrics", 50)
+        led.add("events", 25)
+        led.observe_step(1000)
+        led.observe_step(750)
+        assert led.overhead_ns == 175
+        assert led.fraction() == pytest.approx(175 / 1750)
+        assert led.counts["metrics"] == 2
+        assert led.summary()["totals_ns"]["events"] == 25
+
+    def test_fraction_safe_with_no_steps(self):
+        assert OverheadLedger().fraction() == 0.0
+
+    def test_measuring_overhead_installs_and_restores(self):
+        assert get_ledger() is None
+        with measuring_overhead() as led:
+            assert get_ledger() is led
+        assert get_ledger() is None
+
+    def test_engine_attributes_alert_time_when_measuring(self):
+        engine = AlertEngine([AlertRule(name="hot", metric="m",
+                                        op=">", threshold=1.0)])
+        with measuring_overhead() as led:
+            engine.evaluate(0, {"m": 2.0})
+        assert led.counts["alerts"] == 1
+        assert led.totals["alerts"] > 0
+
+    def test_overhead_metrics_gate_shape(self):
+        led = OverheadLedger()
+        led.add("trace", 10)
+        led.observe_step(1000)
+        metrics = {m.name: m for m in overhead_metrics(
+            led, {"step": 8, "routing": 16})}
+        gated = metrics["overhead_fraction"]
+        assert gated.kind == "model"
+        assert gated.higher_is_better is False
+        assert gated.tolerance == 0.0
+        assert metrics["steps"].value == 1.0
+        assert metrics["events_routing"].value == 16.0
+        assert metrics["trace_ms"].kind == "measured"

@@ -238,6 +238,27 @@ class TestRenderDashboard:
         with pytest.raises(KeyError):
             render_dashboard(RunStore(tmp_path), "nope")
 
+    def test_refresh_embeds_meta_tag(self, tmp_path):
+        populate_run(tmp_path)
+        doc = render_dashboard(RunStore(tmp_path), "r1", refresh=5)
+        check_well_formed(doc)
+        assert '<meta http-equiv="refresh" content="5">' in doc
+        plain = render_dashboard(RunStore(tmp_path), "r1")
+        assert 'http-equiv="refresh"' not in plain
+
+    def test_single_point_series_renders_a_dot(self, tmp_path):
+        # A run with exactly one step: the line charts have one data
+        # point, which a polyline cannot show — a dot must appear.
+        writer = RunWriter.create(root=tmp_path, run_id="one",
+                                  created_at=1.0, seed=0)
+        writer.begin_step(0)
+        writer.emit("step", data={"loss": 1.5, "accuracy": 0.5,
+                                  "grad_norm": 1.0})
+        writer.finalize(summary={})
+        doc = render_dashboard(RunStore(tmp_path), "one")
+        check_well_formed(doc)
+        assert 'r="3" fill="var(--series-1)"' in doc
+
 
 def populate_scenario_run(root, run_id="s1", all_pass=False):
     """A run shaped like the scenario engine's output stream."""
@@ -316,6 +337,14 @@ class TestWriteDashboard:
                               tmp_path / "out" / "dash.html")
         assert out.is_file()
         check_well_formed(out.read_text())
+
+    def test_threads_refresh_through(self, tmp_path):
+        populate_run(tmp_path / "runs")
+        out = write_dashboard(RunStore(tmp_path / "runs"), "latest",
+                              tmp_path / "out" / "dash.html",
+                              refresh=30)
+        assert ('<meta http-equiv="refresh" content="30">'
+                in out.read_text())
 
 
 def populate_serving_run(root, run_id="s1"):

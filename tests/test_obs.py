@@ -632,6 +632,69 @@ class TestPrometheusExport:
         with pytest.raises(ValueError, match="unterminated"):
             parse_prometheus('# TYPE m gauge\nm{path="open 1.0')
 
+    def test_labeled_family_shares_one_head(self):
+        from repro.obs.prometheus import (
+            labeled_name,
+            parse_prometheus,
+            render_prometheus,
+        )
+
+        reg = MetricsRegistry()
+        for sev, v in (("warn", 1.0), ("critical", 0.0)):
+            name = labeled_name("ALERTS", {"alertname": "x",
+                                           "severity": sev})
+            reg.gauge(name).set(v)
+        text = render_prometheus(reg)
+        assert text.count("# TYPE ALERTS gauge") == 1
+        samples = parse_prometheus(text)["ALERTS"]["samples"]
+        assert samples[
+            'ALERTS{alertname="x",severity="critical"}'] == 0.0
+        assert samples['ALERTS{alertname="x",severity="warn"}'] == 1.0
+
+    def test_labeled_name_escapes_hostile_values(self):
+        from repro.obs.prometheus import (
+            labeled_name,
+            parse_prometheus,
+            render_prometheus,
+        )
+
+        raw = 'ha"s\\esc\npe}s'
+        reg = MetricsRegistry()
+        reg.gauge(labeled_name("fam", {"k": raw})).set(3.0)
+        parsed = parse_prometheus(render_prometheus(reg))
+        # The parser re-quotes canonically with the value unescaped.
+        assert parsed["fam"]["samples"][f'fam{{k="{raw}"}}'] == 3.0
+
+    def test_stray_brace_names_fall_back_to_sanitization(self):
+        from repro.obs.prometheus import (
+            parse_prometheus,
+            prometheus_name,
+            render_prometheus,
+        )
+
+        hostile = ["half{open", "not{a=label}", "empty{}",
+                   "trail{a=\"v\"}x"]
+        reg = MetricsRegistry()
+        for name in hostile:
+            reg.gauge(name).set(1.0)
+        parsed = parse_prometheus(render_prometheus(reg))
+        for name in hostile:
+            assert prometheus_name(name) in parsed
+
+    def test_routing_totals_are_counters(self):
+        """Monotonic routing totals must carry # TYPE counter, not
+        gauge (the counter-vs-gauge satellite of the live plane)."""
+        from repro.obs import Observer
+        from repro.obs.prometheus import render_prometheus
+        from repro.obs.routing import record_gauges, synthetic_profile
+
+        ob = Observer()
+        record_gauges(ob, synthetic_profile(seed=0), [])
+        text = render_prometheus(ob.registry)
+        assert "# TYPE routing_tokens counter" in text
+        assert "# TYPE routing_dispatched counter" in text
+        assert "# TYPE routing_load_gini gauge" in text
+
 
 class TestFlowEvents:
     def test_flow_chrome_export_carries_id_and_binding(self):

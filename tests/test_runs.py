@@ -101,6 +101,47 @@ class TestRunWriter:
         assert RunStore(tmp_path).manifest("ctx").status == "complete"
 
 
+class TestTornTail:
+    """Readers must tolerate a torn final line — a writer killed (or
+    racing) mid-``write`` leaves half a JSON record with no newline."""
+
+    def _run_with_tail(self, tmp_path, tail):
+        writer = RunWriter.create(root=tmp_path, run_id="r1",
+                                  created_at=1.0)
+        writer.emit("step", step=0, data={"loss": 2.0})
+        writer.emit("step", step=1, data={"loss": 1.0})
+        writer.close()
+        path = tmp_path / "r1" / "events.jsonl"
+        path.write_text(path.read_text() + tail)
+        return path
+
+    def test_store_skips_torn_final_line(self, tmp_path):
+        self._run_with_tail(tmp_path,
+                            '{"schema": 1, "seq": 2, "kind": "st')
+        events = RunStore(tmp_path).events("r1")
+        assert [e["seq"] for e in events] == [0, 1]
+
+    def test_parse_events_text_skips_torn_tail_only(self):
+        from repro.obs.runs import parse_events_text
+
+        good = ('{"schema": 1, "seq": 0, "kind": "step"}\n'
+                '{"schema": 1, "seq": 1, "kind": "step"}\n')
+        assert len(parse_events_text(good + '{"seq": 2, "ki')) == 2
+        # Mid-stream corruption is data loss, not a benign race —
+        # it must still raise.
+        with pytest.raises(json.JSONDecodeError):
+            parse_events_text('!!corrupt!!\n' + good)
+
+    def test_resume_recovers_past_torn_tail(self, tmp_path):
+        self._run_with_tail(tmp_path, '{"seq": 2, "kind": "trunc')
+        writer = RunWriter.resume(tmp_path / "r1")
+        writer.emit("step", step=2, data={"loss": 0.5})
+        writer.finalize(summary={})
+        events = RunStore(tmp_path).events("r1")
+        assert [e["seq"] for e in events] == [0, 1, 2]
+        assert events[-1]["step"] == 2
+
+
 class TestResumeCompaction:
     def _seed_run(self, tmp_path):
         writer = RunWriter.create(root=tmp_path, run_id="r1",
